@@ -1,0 +1,70 @@
+// Command costplot produces the analytic cost studies of the paper:
+// Figure 4 (G-2DBC vs best 2DBC), Figure 9 (GCR&M pattern-size/seed study)
+// and Figure 10 (symmetric pattern costs), as aligned text or CSV.
+//
+// Usage:
+//
+//	costplot -fig 4 -maxp 64
+//	costplot -fig 9 -p 23 -seeds 100 -csv
+//	costplot -fig 10 -maxp 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anybc/internal/experiments"
+	"anybc/internal/gcrm"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "4", "figure to regenerate: 4, 9 or 10")
+		maxP   = flag.Int("maxp", 64, "largest node count (figures 4 and 10)")
+		p      = flag.Int("p", 23, "node count (figure 9)")
+		seeds  = flag.Int("seeds", 100, "GCR&M search seeds")
+		factor = flag.Float64("factor", 6, "GCR&M pattern size cap factor")
+		csv    = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+	search := gcrm.SearchOptions{Seeds: *seeds, SizeFactor: *factor, BaseSeed: 1, Parallel: true}
+
+	switch *fig {
+	case "4":
+		pts := experiments.Figure4(*maxP)
+		if *csv {
+			experiments.CostCSV(os.Stdout, pts)
+		} else {
+			experiments.RenderCost(os.Stdout, fmt.Sprintf("Figure 4: total cost T, P=1..%d", *maxP), pts)
+		}
+	case "9":
+		best, all, err := experiments.Figure9(*p, search)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			experiments.CandidateCSV(os.Stdout, all)
+		} else {
+			experiments.RenderCandidates(os.Stdout, *p, best, all)
+		}
+	case "10":
+		pts, err := experiments.Figure10(*maxP, search)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			experiments.CostCSV(os.Stdout, pts)
+		} else {
+			experiments.RenderCost(os.Stdout,
+				fmt.Sprintf("Figure 10: symmetric cost T, P=2..%d", *maxP), pts)
+		}
+	default:
+		fatal(fmt.Errorf("unknown figure %q (want 4, 9 or 10)", *fig))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "costplot:", err)
+	os.Exit(1)
+}

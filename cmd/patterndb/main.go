@@ -1,0 +1,84 @@
+// Command patterndb builds and queries an on-disk database of the best
+// GCR&M pattern per node count — the "database containing, for each possible
+// value of P, a very efficient pattern" proposed in the paper's conclusion.
+// Patterns depend only on P, so they are computed once and reused by every
+// factorization.
+//
+// Usage:
+//
+//	patterndb -build -min 2 -max 64 -dir patterns/   # search and store
+//	patterndb -get 23 -dir patterns/                 # print a stored pattern
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"anybc/internal/gcrm"
+	"anybc/internal/pattern"
+)
+
+func main() {
+	var (
+		build  = flag.Bool("build", false, "build the database for P in [min, max]")
+		get    = flag.Int("get", 0, "print the stored pattern for this P")
+		minP   = flag.Int("min", 2, "smallest node count")
+		maxP   = flag.Int("max", 64, "largest node count")
+		dir    = flag.String("dir", "patterns", "database directory")
+		seeds  = flag.Int("seeds", 100, "search seeds per pattern size")
+		factor = flag.Float64("factor", 6, "pattern size cap factor")
+	)
+	flag.Parse()
+
+	switch {
+	case *build:
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		opts := gcrm.SearchOptions{Seeds: *seeds, SizeFactor: *factor, BaseSeed: 1, Parallel: true}
+		for p := *minP; p <= *maxP; p++ {
+			res, err := gcrm.Search(p, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "patterndb: P=%d: %v (skipped)\n", p, err)
+				continue
+			}
+			f, err := os.Create(dbPath(*dir, p))
+			if err != nil {
+				fatal(err)
+			}
+			if err := res.Pattern.Marshal(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("P=%-4d r=%-4d T=%.3f  -> %s\n", p, res.R, res.Cost, dbPath(*dir, p))
+		}
+	case *get > 0:
+		f, err := os.Open(dbPath(*dir, *get))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		pat, err := pattern.Unmarshal(f)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("P=%d pattern %s, Cholesky cost T=%.3f\n", *get, pat.Dims(), pat.CostCholesky())
+		fmt.Print(pat)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func dbPath(dir string, p int) string {
+	return filepath.Join(dir, fmt.Sprintf("gcrm-%04d.pattern", p))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "patterndb:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,153 @@
+// Command simfact runs the simulated performance experiments: Figures 1, 5,
+// 6, 7a, 7b, 11 and 12 of the paper, on the calibrated machine model.
+//
+// Usage:
+//
+//	simfact -fig 5                 # LU, P=23 (scaled default sizes)
+//	simfact -fig 7a -paper         # strong scaling at the paper's N=200,000
+//	simfact -fig 11 -csv           # Cholesky P=31, CSV output
+//	simfact -fig 1 -quick          # fastest configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"anybc/internal/core"
+	"anybc/internal/dag"
+	"anybc/internal/experiments"
+	"anybc/internal/gcrm"
+	"anybc/internal/simulate"
+	"anybc/internal/trace"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "1", "figure to regenerate: 1, 5, 6, 7a, 7b, 11 or 12")
+		paper  = flag.Bool("paper", false, "use the paper's matrix sizes (slow: tens of millions of simulated tasks)")
+		quick  = flag.Bool("quick", false, "use the quick configuration (smallest sizes)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of a table")
+		gantt  = flag.String("gantt", "", "instead of a figure, trace one run and write <prefix>-gantt.csv and <prefix>-messages.csv")
+		p      = flag.Int("p", 23, "gantt mode: node count")
+		n      = flag.Int("n", 25000, "gantt mode: matrix size")
+		scheme = flag.String("scheme", "g2dbc", "gantt mode: distribution scheme")
+		kernel = flag.String("kernel", "lu", "gantt mode: lu or cholesky")
+	)
+	flag.Parse()
+
+	if *gantt != "" {
+		if err := runGantt(*gantt, *p, *n, *scheme, *kernel); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultSimConfig()
+	if *paper {
+		cfg = experiments.PaperSimConfig()
+	}
+	if *quick {
+		cfg = experiments.QuickSimConfig()
+	}
+
+	type genFn func(experiments.SimConfig) ([]experiments.PerfPoint, error)
+	titles := map[string]string{
+		"1":  "Figure 1: LU, 2DBC grid shapes (P<=23)",
+		"5":  "Figure 5: LU, P=23 (G-2DBC vs 2DBC)",
+		"6":  "Figure 6: LU, P=39 (G-2DBC vs 2DBC)",
+		"7a": "Figure 7a: LU strong scaling",
+		"7b": "Figure 7b: Cholesky strong scaling",
+		"11": "Figure 11: Cholesky, P=31 (GCR&M vs SBC)",
+		"12": "Figure 12: Cholesky, P=35 (GCR&M vs SBC)",
+	}
+	gens := map[string]genFn{
+		"1": experiments.Figure1,
+		"5": experiments.Figure5,
+		"6": experiments.Figure6,
+		"7a": func(c experiments.SimConfig) ([]experiments.PerfPoint, error) {
+			return experiments.Figure7a(c, experiments.ScalingPs)
+		},
+		"7b": func(c experiments.SimConfig) ([]experiments.PerfPoint, error) {
+			return experiments.Figure7b(c, experiments.ScalingPs)
+		},
+		"11": experiments.Figure11,
+		"12": experiments.Figure12,
+	}
+	gen, ok := gens[*fig]
+	if !ok {
+		fatal(fmt.Errorf("unknown figure %q (want 1, 5, 6, 7a, 7b, 11 or 12)", *fig))
+	}
+	pts, err := gen(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *csv {
+		experiments.PerfCSV(os.Stdout, pts)
+		return
+	}
+	experiments.RenderPerf(os.Stdout, titles[*fig], pts)
+}
+
+// runGantt simulates one (scheme, P, N) point with tracing enabled and
+// writes Gantt and message CSVs plus a utilization summary.
+func runGantt(prefix string, p, n int, scheme, kernel string) error {
+	const b = 500
+	mt := n / b
+	if mt < 1 {
+		return fmt.Errorf("matrix size %d below one tile", n)
+	}
+	d, err := core.New(core.Scheme(scheme), p, core.Options{
+		GCRMSearch: gcrm.SearchOptions{Seeds: 30, SizeFactor: 5, BaseSeed: 1, Parallel: true},
+	})
+	if err != nil {
+		return err
+	}
+	var g dag.Graph
+	switch kernel {
+	case "lu":
+		g = dag.NewLU(mt)
+	case "cholesky":
+		g = dag.NewCholesky(mt)
+	default:
+		return fmt.Errorf("unknown kernel %q", kernel)
+	}
+	m := simulate.PaperMachine()
+	rec := &trace.Recorder{}
+	res, err := simulate.Run(g, b, d, m, simulate.Options{Recorder: rec})
+	if err != nil {
+		return err
+	}
+	for suffix, dump := range map[string]func(w io.Writer) error{
+		"-gantt.csv":    rec.GanttCSV,
+		"-messages.csv": rec.MessagesCSV,
+	} {
+		f, err := os.Create(prefix + suffix)
+		if err != nil {
+			return err
+		}
+		if err := dump(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s on %s: %.0f GFlop/s, makespan %.3f s, %d messages\n",
+		g.Name(), d.Name(), res.GFlops(), res.Makespan, res.Messages)
+	fmt.Printf("per-node utilization:")
+	for _, u := range rec.Utilization(m.Workers) {
+		fmt.Printf(" %.2f", u)
+	}
+	fmt.Println()
+	fmt.Printf("kernel time breakdown: %v\n", rec.KindBreakdown())
+	fmt.Printf("wrote %s-gantt.csv and %s-messages.csv\n", prefix, prefix)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simfact:", err)
+	os.Exit(1)
+}

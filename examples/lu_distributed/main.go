@@ -1,0 +1,67 @@
+// Distributed LU factorization on the virtual cluster: a real (numeric)
+// owner-computes execution of the tiled right-looking algorithm across P
+// node goroutines, comparing 2DBC with the paper's G-2DBC.
+//
+// For each distribution the example factorizes the same diagonally dominant
+// matrix, verifies the residual ‖A − LU‖_F/‖A‖_F, and compares the number of
+// tile messages the runtime actually sent against the paper's Equation (1)
+// prediction m(m+1)/2 · (x̄ + ȳ − 2).
+//
+//	go run ./examples/lu_distributed -p 23 -mt 24 -b 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anybc/internal/dist"
+	"anybc/internal/matrix"
+	"anybc/internal/runtime"
+)
+
+func main() {
+	var (
+		p       = flag.Int("p", 23, "number of virtual nodes")
+		mt      = flag.Int("mt", 24, "matrix size in tiles")
+		b       = flag.Int("b", 16, "tile size in elements")
+		workers = flag.Int("workers", 2, "worker goroutines per node")
+		seed    = flag.Int64("seed", 42, "matrix generator seed")
+	)
+	flag.Parse()
+
+	fmt.Printf("Distributed LU: %dx%d tiles of %dx%d, P=%d nodes, %d workers/node\n\n",
+		*mt, *mt, *b, *b, *p, *workers)
+
+	orig := matrix.NewDiagDominant(*mt, *b, *seed)
+	gen := runtime.GenDiagDominant(*mt, *b, *seed)
+
+	for _, d := range []dist.Distribution{dist.Best2DBC(*p), dist.NewG2DBC(*p)} {
+		fact, rep, err := runtime.FactorLU(*mt, *b, d, gen, runtime.Options{Workers: *workers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lu_distributed:", err)
+			os.Exit(1)
+		}
+		res := matrix.ResidualLU(orig, fact)
+		pd := d.(dist.PatternDistribution)
+		predicted := pd.Pattern().CommVolumeLU(*mt)
+		measured := rep.Stats.TotalMessages()
+
+		fmt.Printf("%s (pattern %s, T = %.3f)\n", d.Name(), pd.Pattern().Dims(), pd.Pattern().CostLU())
+		fmt.Printf("  residual ‖A−LU‖/‖A‖ = %.2e\n", res)
+		fmt.Printf("  tile messages: measured %d, Eq.(1) predicts ≤ %.0f (%.0f%%)\n",
+			measured, predicted, 100*float64(measured)/predicted)
+		fmt.Printf("  bytes on the wire: %.2f MB; wall time %v\n",
+			float64(rep.Stats.TotalBytes())/1e6, rep.Elapsed)
+		min, max := rep.TasksPerNode[0], rep.TasksPerNode[0]
+		for _, n := range rep.TasksPerNode {
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+		fmt.Printf("  load balance: %d..%d tasks per node\n\n", min, max)
+	}
+}

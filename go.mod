@@ -1,0 +1,3 @@
+module anybc
+
+go 1.22

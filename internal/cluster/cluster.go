@@ -1,0 +1,210 @@
+// Package cluster provides the in-memory message-passing substrate that
+// stands in for MPI: P node endpoints connected by a virtual network with
+// asynchronous point-to-point tile messages and per-pair traffic counters.
+//
+// Like the paper's Chameleon setup, every communication is a point-to-point
+// message carrying exactly one tile, so the message count equals the tile
+// communication volume that Equations (1) and (2) predict — the counters here
+// are what the integration tests compare against those formulas.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"anybc/internal/tile"
+)
+
+// Tag identifies a published tile version. In the right-looking
+// factorizations every tile is communicated exactly once, in its final
+// factored state (after the panel kernel of iteration min(i, j)), so the tile
+// coordinates fully identify the payload.
+type Tag struct {
+	I, J int32
+}
+
+// Message is one tile in flight.
+type Message struct {
+	From, To int
+	Tag      Tag
+	Payload  *tile.Tile
+}
+
+// mailbox is an unbounded FIFO queue; Send never blocks, which (together
+// with the acyclicity of the task graph) makes the runtime deadlock-free.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg Message) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, msg)
+	}
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// get blocks until a message is available or the mailbox is closed.
+func (m *mailbox) get() (Message, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return Message{}, false
+	}
+	msg := m.queue[0]
+	// Avoid retaining payloads through the backing array.
+	m.queue[0] = Message{}
+	m.queue = m.queue[1:]
+	return msg, true
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Cluster is a set of P virtual nodes with an all-to-all network.
+type Cluster struct {
+	p        int
+	inboxes  []*mailbox
+	messages []atomic.Int64 // p*p counters, src*p+dst
+	bytes    []atomic.Int64
+}
+
+// New creates a cluster of p nodes.
+func New(p int) *Cluster {
+	if p <= 0 {
+		panic(fmt.Sprintf("cluster: invalid node count %d", p))
+	}
+	c := &Cluster{
+		p:        p,
+		inboxes:  make([]*mailbox, p),
+		messages: make([]atomic.Int64, p*p),
+		bytes:    make([]atomic.Int64, p*p),
+	}
+	for i := range c.inboxes {
+		c.inboxes[i] = newMailbox()
+	}
+	return c
+}
+
+// Nodes returns P.
+func (c *Cluster) Nodes() int { return c.p }
+
+// Comm returns the endpoint of node rank.
+func (c *Cluster) Comm(rank int) *Comm {
+	if rank < 0 || rank >= c.p {
+		panic(fmt.Sprintf("cluster: invalid rank %d", rank))
+	}
+	return &Comm{cluster: c, rank: rank}
+}
+
+// Close shuts every mailbox down, releasing blocked receivers.
+func (c *Cluster) Close() {
+	for _, m := range c.inboxes {
+		m.close()
+	}
+}
+
+// Comm is one node's endpoint: its rank and its view of the network.
+type Comm struct {
+	cluster *Cluster
+	rank    int
+}
+
+// Rank returns this endpoint's node id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the cluster's node count.
+func (c *Comm) Size() int { return c.cluster.p }
+
+// Send delivers a tile to node dst asynchronously. The payload is cloned so
+// the sender may keep using its buffer. Self-sends are rejected: the runtime
+// must short-circuit local data.
+func (c *Comm) Send(dst int, tag Tag, payload *tile.Tile) {
+	if dst == c.rank {
+		panic("cluster: self-send; local data must not go through the network")
+	}
+	cl := c.cluster
+	msg := Message{From: c.rank, To: dst, Tag: tag, Payload: payload.Clone()}
+	idx := c.rank*cl.p + dst
+	cl.messages[idx].Add(1)
+	cl.bytes[idx].Add(int64(payload.Bytes()))
+	cl.inboxes[dst].put(msg)
+}
+
+// Recv blocks until a message arrives; ok is false once the cluster is
+// closed and the mailbox drained.
+func (c *Comm) Recv() (Message, bool) {
+	return c.cluster.inboxes[c.rank].get()
+}
+
+// Stats is a snapshot of the traffic counters.
+type Stats struct {
+	P        int
+	Messages [][]int64 // [src][dst]
+	Bytes    [][]int64
+}
+
+// Stats snapshots the per-pair traffic counters.
+func (c *Cluster) Stats() Stats {
+	s := Stats{P: c.p, Messages: make([][]int64, c.p), Bytes: make([][]int64, c.p)}
+	for i := 0; i < c.p; i++ {
+		s.Messages[i] = make([]int64, c.p)
+		s.Bytes[i] = make([]int64, c.p)
+		for j := 0; j < c.p; j++ {
+			s.Messages[i][j] = c.messages[i*c.p+j].Load()
+			s.Bytes[i][j] = c.bytes[i*c.p+j].Load()
+		}
+	}
+	return s
+}
+
+// TotalMessages returns the total number of tile messages sent.
+func (s Stats) TotalMessages() int64 {
+	var t int64
+	for _, row := range s.Messages {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// TotalBytes returns the total bytes sent.
+func (s Stats) TotalBytes() int64 {
+	var t int64
+	for _, row := range s.Bytes {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// SentByNode returns the number of messages sent by each node.
+func (s Stats) SentByNode() []int64 {
+	out := make([]int64, s.P)
+	for i, row := range s.Messages {
+		for _, v := range row {
+			out[i] += v
+		}
+	}
+	return out
+}

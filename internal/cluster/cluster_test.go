@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"anybc/internal/tile"
+)
+
+func payload(v float64) *tile.Tile {
+	t := tile.New(2, 2)
+	t.Fill(v)
+	return t
+}
+
+func TestSendRecv(t *testing.T) {
+	c := New(2)
+	defer c.Close()
+	c0, c1 := c.Comm(0), c.Comm(1)
+	c0.Send(1, Tag{I: 3, J: 4}, payload(7))
+	msg, ok := c1.Recv()
+	if !ok {
+		t.Fatal("Recv failed")
+	}
+	if msg.From != 0 || msg.To != 1 || msg.Tag != (Tag{I: 3, J: 4}) {
+		t.Fatalf("message metadata wrong: %+v", msg)
+	}
+	if msg.Payload.At(0, 0) != 7 {
+		t.Fatal("payload content wrong")
+	}
+}
+
+func TestSendClonesPayload(t *testing.T) {
+	c := New(2)
+	defer c.Close()
+	p := payload(1)
+	c.Comm(0).Send(1, Tag{}, p)
+	p.Fill(99) // mutate after send
+	msg, _ := c.Comm(1).Recv()
+	if msg.Payload.At(0, 0) != 1 {
+		t.Fatal("payload not cloned at send time")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	c := New(2)
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		c.Comm(0).Send(1, Tag{I: int32(i)}, payload(float64(i)))
+	}
+	for i := 0; i < 10; i++ {
+		msg, ok := c.Comm(1).Recv()
+		if !ok || msg.Tag.I != int32(i) {
+			t.Fatalf("message %d out of order: %+v ok=%v", i, msg.Tag, ok)
+		}
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := New(3)
+	defer c.Close()
+	c.Comm(0).Send(1, Tag{}, payload(0))
+	c.Comm(0).Send(1, Tag{}, payload(0))
+	c.Comm(2).Send(0, Tag{}, payload(0))
+	s := c.Stats()
+	if s.Messages[0][1] != 2 || s.Messages[2][0] != 1 || s.Messages[1][0] != 0 {
+		t.Fatalf("message counters wrong: %+v", s.Messages)
+	}
+	if s.TotalMessages() != 3 {
+		t.Fatalf("TotalMessages = %d, want 3", s.TotalMessages())
+	}
+	if s.TotalBytes() != 3*32 {
+		t.Fatalf("TotalBytes = %d, want 96", s.TotalBytes())
+	}
+	sent := s.SentByNode()
+	if sent[0] != 2 || sent[1] != 0 || sent[2] != 1 {
+		t.Fatalf("SentByNode = %v", sent)
+	}
+}
+
+func TestCloseReleasesReceivers(t *testing.T) {
+	c := New(1)
+	done := make(chan bool)
+	go func() {
+		_, ok := c.Comm(0).Recv()
+		done <- ok
+	}()
+	c.Close()
+	if ok := <-done; ok {
+		t.Fatal("Recv returned ok=true after Close on empty mailbox")
+	}
+}
+
+func TestDrainAfterClose(t *testing.T) {
+	// Messages already enqueued are lost after close only if unread before;
+	// here we enqueue then close then read: the mailbox keeps queued data.
+	c := New(2)
+	c.Comm(0).Send(1, Tag{I: 1}, payload(5))
+	c.Close()
+	msg, ok := c.Comm(1).Recv()
+	if !ok || msg.Tag.I != 1 {
+		t.Fatalf("queued message lost after close: ok=%v", ok)
+	}
+	if _, ok := c.Comm(1).Recv(); ok {
+		t.Fatal("Recv on drained closed mailbox returned ok")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	c := New(4)
+	defer c.Close()
+	const per = 200
+	var wg sync.WaitGroup
+	for src := 1; src < 4; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			comm := c.Comm(src)
+			for i := 0; i < per; i++ {
+				comm.Send(0, Tag{I: int32(src), J: int32(i)}, payload(0))
+			}
+		}(src)
+	}
+	received := 0
+	recvDone := make(chan struct{})
+	go func() {
+		comm := c.Comm(0)
+		for received < 3*per {
+			if _, ok := comm.Recv(); !ok {
+				break
+			}
+			received++
+		}
+		close(recvDone)
+	}()
+	wg.Wait()
+	<-recvDone
+	if received != 3*per {
+		t.Fatalf("received %d of %d messages", received, 3*per)
+	}
+	if got := c.Stats().TotalMessages(); got != 3*per {
+		t.Fatalf("counter %d, want %d", got, 3*per)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	c := New(2)
+	defer c.Close()
+	for _, f := range []func(){
+		func() { New(0) },
+		func() { c.Comm(5) },
+		func() { c.Comm(0).Send(0, Tag{}, payload(0)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"anybc/internal/gcrm"
+)
+
+// osCreate is a seam for the pattern-file tests.
+var osCreate = os.Create
+
+func quickOpts() Options {
+	return Options{GCRMSearch: gcrm.SearchOptions{Seeds: 10, SizeFactor: 3, BaseSeed: 1, Parallel: true}}
+}
+
+func TestNewAllSchemes(t *testing.T) {
+	// A valid node count per scheme: 21 works for all but STS (which needs
+	// P = r(r-1)/6, e.g. 35).
+	validP := map[Scheme]int{TwoDBC: 21, G2DBC: 21, SBC: 21, GCRM: 21, STSScheme: 35}
+	for _, s := range Schemes() {
+		p, ok := validP[s]
+		if !ok {
+			t.Fatalf("scheme %s missing from test table", s)
+		}
+		d, err := New(s, p, quickOpts())
+		if err != nil {
+			t.Fatalf("New(%s, %d): %v", s, p, err)
+		}
+		if d.Nodes() != p {
+			t.Errorf("New(%s): Nodes = %d, want %d", s, d.Nodes(), p)
+		}
+		if d.Owner(0, 0) < 0 || d.Owner(0, 0) >= p {
+			t.Errorf("New(%s): Owner out of range", s)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(SBC, 23, quickOpts()); err == nil {
+		t.Error("SBC for P=23 accepted")
+	}
+	if _, err := New("nope", 4, quickOpts()); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := New(TwoDBC, 0, quickOpts()); err == nil {
+		t.Error("P=0 accepted")
+	}
+}
+
+func TestNewCaseInsensitive(t *testing.T) {
+	if _, err := New("G2DBC", 10, quickOpts()); err != nil {
+		t.Errorf("uppercase scheme name rejected: %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d, err := New(G2DBC, 23, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Describe(d)
+	if r.Dims != "20x23" || !r.Balanced {
+		t.Errorf("Describe(G-2DBC 23) = %+v", r)
+	}
+	if math.Abs(r.CostLU-9.652) > 0.001 {
+		t.Errorf("CostLU = %v", r.CostLU)
+	}
+}
+
+func TestLoadPatternFile(t *testing.T) {
+	dir := t.TempDir()
+	d, err := New(GCRM, 10, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := dir + "/gcrm-0010.pattern"
+	f, err := osCreate(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Pattern(d).Marshal(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromDB(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Nodes() != 10 {
+		t.Fatalf("loaded distribution has %d nodes", got.Nodes())
+	}
+	// Same pattern → same owners under the deterministic diagonal resolver.
+	for i := 0; i < 12; i++ {
+		for j := 0; j <= i; j++ {
+			if got.Owner(i, j) != d.Owner(i, j) {
+				t.Fatalf("owner mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	// Fully defined pattern loads as cyclic.
+	d2, _ := New(G2DBC, 6, quickOpts())
+	path2 := dir + "/g2dbc.pattern"
+	f2, err := osCreate(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Pattern(d2).Marshal(f2); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	got2, err := LoadPatternFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Owner(3, 4) != d2.Owner(3, 4) {
+		t.Fatal("cyclic load owner mismatch")
+	}
+
+	// Missing file errors.
+	if _, err := FromDB(dir, 99); err == nil {
+		t.Error("missing pattern file accepted")
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	lu, err := Recommend(23, false, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Pattern(lu) == nil || lu.Nodes() != 23 {
+		t.Error("non-symmetric recommendation broken")
+	}
+	ch, err := Recommend(23, true, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Nodes() != 23 {
+		t.Error("symmetric recommendation broken")
+	}
+	// The symmetric recommendation must beat the G-2DBC symmetric cost.
+	if got, g2 := Describe(ch).CostCholesky, Describe(lu).CostLU-1; got >= g2 {
+		t.Errorf("GCR&M cost %v not below G-2DBC symmetric cost %v", got, g2)
+	}
+}

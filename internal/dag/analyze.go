@@ -1,0 +1,189 @@
+package dag
+
+// ForEachTask visits every task of the graph in a valid topological order
+// (increasing iteration ℓ, panel kernels before updates within an
+// iteration). Dependencies always point from earlier-visited tasks to
+// later-visited ones.
+func ForEachTask(g Graph, visit func(Task)) {
+	mt := g.Tiles()
+	switch gg := g.(type) {
+	case *LUSolve:
+		ForEachTask(gg.LU, visit)
+		forEachSolveTask(mt, visit)
+		return
+	case *CholeskySolve:
+		ForEachTask(gg.Cholesky, visit)
+		forEachSolveTask(mt, visit)
+		return
+	case *GEMMOp:
+		for i := 0; i < gg.mt; i++ {
+			for k := 0; k < gg.kt; k++ {
+				visit(Task{Kind: GemmA, L: int32(k), I: int32(i)})
+			}
+		}
+		for k := 0; k < gg.kt; k++ {
+			for j := 0; j < gg.nt; j++ {
+				visit(Task{Kind: GemmB, L: int32(k), J: int32(j)})
+			}
+		}
+		for k := 0; k < gg.kt; k++ {
+			for i := 0; i < gg.mt; i++ {
+				for j := 0; j < gg.nt; j++ {
+					visit(Task{Kind: GemmUpd, L: int32(k), I: int32(i), J: int32(j)})
+				}
+			}
+		}
+		return
+	case *SYRKOp:
+		for i := 0; i < mt; i++ {
+			for k := 0; k < gg.kt; k++ {
+				visit(Task{Kind: AInit, L: int32(k), I: int32(i)})
+			}
+		}
+		for k := 0; k < gg.kt; k++ {
+			for i := 0; i < mt; i++ {
+				visit(Task{Kind: SYRKUpd, L: int32(k), I: int32(i)})
+				for j := 0; j < i; j++ {
+					visit(Task{Kind: GEMMUpd, L: int32(k), I: int32(i), J: int32(j)})
+				}
+			}
+		}
+		return
+	case *LU:
+		for l := 0; l < mt; l++ {
+			l32 := int32(l)
+			visit(Task{Kind: GETRF, L: l32, I: l32, J: l32})
+			for i := l + 1; i < mt; i++ {
+				visit(Task{Kind: TRSMCol, L: l32, I: int32(i)})
+				visit(Task{Kind: TRSMRow, L: l32, I: int32(i)})
+			}
+			for i := l + 1; i < mt; i++ {
+				for j := l + 1; j < mt; j++ {
+					visit(Task{Kind: GEMMLU, L: l32, I: int32(i), J: int32(j)})
+				}
+			}
+		}
+	case *CholeskyLeft:
+		for k := 0; k < mt; k++ {
+			k32 := int32(k)
+			for j := 0; j < k; j++ {
+				visit(Task{Kind: SYRK, L: int32(j), I: k32})
+			}
+			visit(Task{Kind: POTRF, L: k32, I: k32, J: k32})
+			for i := k + 1; i < mt; i++ {
+				for j := 0; j < k; j++ {
+					visit(Task{Kind: GEMMChol, L: int32(j), I: int32(i), J: k32})
+				}
+				visit(Task{Kind: TRSMChol, L: k32, I: int32(i)})
+			}
+		}
+		return
+	case *Cholesky:
+		for l := 0; l < mt; l++ {
+			l32 := int32(l)
+			visit(Task{Kind: POTRF, L: l32, I: l32, J: l32})
+			for i := l + 1; i < mt; i++ {
+				visit(Task{Kind: TRSMChol, L: l32, I: int32(i)})
+			}
+			for i := l + 1; i < mt; i++ {
+				visit(Task{Kind: SYRK, L: l32, I: int32(i)})
+				for j := l + 1; j < i; j++ {
+					visit(Task{Kind: GEMMChol, L: l32, I: int32(i), J: int32(j)})
+				}
+			}
+		}
+	default:
+		// Generic fallback: ids in increasing order are topological for the
+		// built-in graphs; external graphs must guarantee the same.
+		for id := 0; id < g.NumTasks(); id++ {
+			visit(g.TaskOf(id))
+		}
+	}
+}
+
+// forEachSolveTask visits the solve-phase tasks in topological order:
+// forward substitution by increasing RHS row, then backward substitution by
+// decreasing row.
+func forEachSolveTask(mt int, visit func(Task)) {
+	for i := 0; i < mt; i++ {
+		for j := 0; j < i; j++ {
+			visit(Task{Kind: FGEMM, L: int32(j), I: int32(i), J: int32(j)})
+		}
+		visit(Task{Kind: FTRSM, L: int32(i), I: int32(i)})
+	}
+	for i := mt - 1; i >= 0; i-- {
+		visit(Task{Kind: BCOPY, L: int32(i), I: int32(i)})
+		for j := mt - 1; j > i; j-- {
+			visit(Task{Kind: BGEMM, L: int32(j), I: int32(i), J: int32(j)})
+		}
+		visit(Task{Kind: BTRSM, L: int32(i), I: int32(i)})
+	}
+}
+
+// CriticalPathFlops returns the longest dependency-path weight through the
+// graph, with each task weighted by its flop count for tile size b. Dividing
+// TotalFlops by this value bounds the achievable parallel speedup.
+func CriticalPathFlops(g Graph, b int) float64 {
+	longest := make([]float64, g.NumTasks())
+	cp := 0.0
+	ForEachTask(g, func(t Task) {
+		best := 0.0
+		g.Dependencies(t, func(d Task) {
+			if v := longest[g.ID(d)]; v > best {
+				best = v
+			}
+		})
+		v := best + g.Flops(t, b)
+		longest[g.ID(t)] = v
+		if v > cp {
+			cp = v
+		}
+	})
+	return cp
+}
+
+// CriticalPathLength returns the longest path measured in task count.
+func CriticalPathLength(g Graph) int {
+	longest := make([]int32, g.NumTasks())
+	cp := int32(0)
+	ForEachTask(g, func(t Task) {
+		best := int32(0)
+		g.Dependencies(t, func(d Task) {
+			if v := longest[g.ID(d)]; v > best {
+				best = v
+			}
+		})
+		v := best + 1
+		longest[g.ID(t)] = v
+		if v > cp {
+			cp = v
+		}
+	})
+	return int(cp)
+}
+
+// CommVolumeTiles returns the exact number of tile transfers the
+// owner-computes rule induces for graph g under the tile→node map owner:
+// for every task output consumed by tasks on other nodes, the tile version
+// is sent once per distinct remote consumer node. This is the measured
+// counterpart of the paper's Equations (1) and (2).
+func CommVolumeTiles(g Graph, owner func(i, j int) int) int64 {
+	var volume int64
+	seen := map[int]struct{}{}
+	ForEachTask(g, func(t Task) {
+		oi, oj := g.OutputTile(t)
+		src := owner(oi, oj)
+		for k := range seen {
+			delete(seen, k)
+		}
+		g.Successors(t, func(s Task) {
+			si, sj := g.OutputTile(s)
+			dst := owner(si, sj)
+			if dst != src {
+				seen[dst] = struct{}{}
+			}
+		})
+		volume += int64(len(seen))
+	})
+	return volume
+}

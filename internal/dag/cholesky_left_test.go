@@ -1,0 +1,136 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anybc/internal/matrix"
+)
+
+func TestCholeskyLeftNumTasks(t *testing.T) {
+	for mt := 1; mt <= 10; mt++ {
+		l := NewCholeskyLeft(mt)
+		r := NewCholesky(mt)
+		if l.NumTasks() != r.NumTasks() {
+			t.Errorf("mt=%d: left %d tasks, right %d", mt, l.NumTasks(), r.NumTasks())
+		}
+		if l.TotalFlops(8) != r.TotalFlops(8) {
+			t.Errorf("mt=%d: flop totals differ", mt)
+		}
+	}
+}
+
+func TestCholeskyLeftIDRoundtrip(t *testing.T) {
+	for mt := 1; mt <= 9; mt++ {
+		g := NewCholeskyLeft(mt)
+		seen := make([]bool, g.NumTasks())
+		n := 0
+		ForEachTask(g, func(task Task) {
+			id := g.ID(task)
+			if id < 0 || id >= g.NumTasks() || seen[id] {
+				t.Fatalf("mt=%d: bad/dup id %d for %v", mt, id, task)
+			}
+			seen[id] = true
+			if back := g.TaskOf(id); back != task {
+				t.Fatalf("mt=%d: TaskOf(ID(%v)) = %v", mt, task, back)
+			}
+			n++
+		})
+		if n != g.NumTasks() {
+			t.Fatalf("mt=%d: visited %d of %d", mt, n, g.NumTasks())
+		}
+	}
+}
+
+func TestCholeskyLeftEdges(t *testing.T) {
+	for mt := 1; mt <= 7; mt++ {
+		g := NewCholeskyLeft(mt)
+		succ := map[string]bool{}
+		ForEachTask(g, func(task Task) {
+			g.Successors(task, func(s Task) { succ[fmt.Sprint(task, "->", s)] = true })
+		})
+		visited := make([]bool, g.NumTasks())
+		deps := 0
+		ForEachTask(g, func(task Task) {
+			n := 0
+			g.Dependencies(task, func(d Task) {
+				n++
+				deps++
+				if !succ[fmt.Sprint(d, "->", task)] {
+					t.Fatalf("mt=%d: dep edge %v->%v missing from successors", mt, d, task)
+				}
+				if !visited[g.ID(d)] {
+					t.Fatalf("mt=%d: %v before dependency %v", mt, task, d)
+				}
+			})
+			if g.NumDependencies(task) != n {
+				t.Fatalf("mt=%d: NumDependencies(%v) = %d, want %d",
+					mt, task, g.NumDependencies(task), n)
+			}
+			visited[g.ID(task)] = true
+		})
+		if deps != len(succ) {
+			t.Fatalf("mt=%d: %d dep edges vs %d succ edges", mt, deps, len(succ))
+		}
+	}
+}
+
+// TestCholeskyLeftExecutesBitwiseEqual: left- and right-looking variants
+// apply the same updates to each tile in the same order, so random-order
+// executions of both graphs must agree bitwise.
+func TestCholeskyLeftExecutesBitwiseEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, mt := range []int{1, 2, 3, 6, 9} {
+		const b = 5
+		right := matrix.NewSPD(mt, b, int64(mt))
+		runRandomOrder(t, NewCholesky(mt), rng, func(task Task) error { return applyChol(right, task) })
+
+		left := matrix.NewSPD(mt, b, int64(mt))
+		runRandomOrder(t, NewCholeskyLeft(mt), rng, func(task Task) error { return applyChol(left, task) })
+
+		for i := 0; i < mt; i++ {
+			for j := 0; j <= i; j++ {
+				if !left.Tile(i, j).EqualApprox(right.Tile(i, j), 0) {
+					t.Fatalf("mt=%d: tile (%d,%d) differs between variants", mt, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestCholeskyLeftCommVolumeEqualsRight: the owner-computes communication
+// volume is variant-independent (each panel tile reaches the same consumer
+// set either way).
+func TestCholeskyLeftCommVolumeEqualsRight(t *testing.T) {
+	owner := func(i, j int) int { return (i%3)*2 + j%2 }
+	for _, mt := range []int{4, 8, 15} {
+		l := CommVolumeTiles(NewCholeskyLeft(mt), owner)
+		r := CommVolumeTiles(NewCholesky(mt), owner)
+		if l != r {
+			t.Errorf("mt=%d: left volume %d != right volume %d", mt, l, r)
+		}
+	}
+}
+
+// TestCholeskyLeftCriticalPathLonger: the left-looking variant serializes
+// each column's updates, so its critical path is at least the right-looking
+// one.
+func TestCholeskyLeftCriticalPathLonger(t *testing.T) {
+	for _, mt := range []int{4, 8, 12} {
+		l := CriticalPathLength(NewCholeskyLeft(mt))
+		r := CriticalPathLength(NewCholesky(mt))
+		if l < r {
+			t.Errorf("mt=%d: left critical path %d shorter than right %d", mt, l, r)
+		}
+	}
+}
+
+func TestCholeskyLeftPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCholeskyLeft(0) did not panic")
+		}
+	}()
+	NewCholeskyLeft(0)
+}

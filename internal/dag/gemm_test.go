@@ -1,0 +1,133 @@
+package dag
+
+import (
+	"fmt"
+	"testing"
+
+	"anybc/internal/dist"
+	"anybc/internal/lowerbound"
+)
+
+func TestGEMMNumTasks(t *testing.T) {
+	g := NewGEMMOp(3, 4, 5)
+	want := 3*5 + 5*4 + 3*4*5
+	if got := g.NumTasks(); got != want {
+		t.Fatalf("NumTasks = %d, want %d", got, want)
+	}
+}
+
+func TestGEMMIDRoundtrip(t *testing.T) {
+	for _, shape := range [][3]int{{1, 1, 1}, {3, 4, 2}, {5, 2, 6}} {
+		g := NewGEMMOp(shape[0], shape[1], shape[2])
+		seen := make([]bool, g.NumTasks())
+		n := 0
+		ForEachTask(g, func(task Task) {
+			id := g.ID(task)
+			if id < 0 || id >= g.NumTasks() || seen[id] {
+				t.Fatalf("GEMM%v: bad/dup id %d for %v", shape, id, task)
+			}
+			seen[id] = true
+			if back := g.TaskOf(id); back != task {
+				t.Fatalf("GEMM%v: TaskOf(ID(%v)) = %v", shape, task, back)
+			}
+			n++
+		})
+		if n != g.NumTasks() {
+			t.Fatalf("GEMM%v: visited %d of %d", shape, n, g.NumTasks())
+		}
+	}
+}
+
+func TestGEMMEdgesConsistent(t *testing.T) {
+	g := NewGEMMOp(3, 2, 4)
+	succ := map[string]bool{}
+	ForEachTask(g, func(task Task) {
+		g.Successors(task, func(s Task) { succ[fmt.Sprint(task, "->", s)] = true })
+	})
+	visited := make([]bool, g.NumTasks())
+	deps := 0
+	ForEachTask(g, func(task Task) {
+		n := 0
+		g.Dependencies(task, func(d Task) {
+			n++
+			deps++
+			if !succ[fmt.Sprint(d, "->", task)] {
+				t.Fatalf("edge %v->%v missing from successors", d, task)
+			}
+			if !visited[g.ID(d)] {
+				t.Fatalf("%v before dependency %v", task, d)
+			}
+		})
+		if g.NumDependencies(task) != n {
+			t.Fatalf("NumDependencies(%v) = %d, want %d", task, g.NumDependencies(task), n)
+		}
+		visited[g.ID(task)] = true
+	})
+	if deps != len(succ) {
+		t.Fatalf("%d dep edges vs %d succ edges", deps, len(succ))
+	}
+}
+
+// TestGEMMCommVolumeFormula: for a p×q grid co-distributing all operands,
+// the owner-computes volume is mt·kt·(q−1) + kt·nt·(p−1).
+func TestGEMMCommVolumeFormula(t *testing.T) {
+	const mt, nt, kt = 12, 12, 6
+	for _, grid := range [][2]int{{2, 3}, {3, 2}, {6, 1}, {1, 6}} {
+		p, q := grid[0], grid[1]
+		d := dist.NewTwoDBC(p, q)
+		g := NewGEMMOp(mt, nt, kt)
+		owner := func(i, j int) int {
+			switch {
+			case i >= mt:
+				return d.Owner(i-mt, j)
+			case j >= nt:
+				return d.Owner(i, j-nt)
+			default:
+				return d.Owner(i, j)
+			}
+		}
+		want := int64(mt*kt*(q-1) + kt*nt*(p-1))
+		if got := CommVolumeTiles(g, owner); got != want {
+			t.Errorf("grid %dx%d: volume %d, want %d", p, q, got, want)
+		}
+	}
+	// Square grids minimize the volume (classic Irony et al. result).
+	vol := func(p, q int) int64 {
+		return int64(mt*kt*(q-1) + kt*nt*(p-1))
+	}
+	if !(vol(2, 3) < vol(6, 1) && vol(3, 2) < vol(1, 6)) {
+		t.Error("squarer grid did not minimize volume")
+	}
+}
+
+// TestGEMMPerNodeVolumeNearBound: the per-node communication of a square
+// grid approaches the Irony–Toledo–Tiskin reference 2m²/√P.
+func TestGEMMPerNodeVolumeNearBound(t *testing.T) {
+	const mt, b, p = 24, 10, 4 // P = 16, square grid
+	d := dist.NewTwoDBC(p, p)
+	g := NewGEMMOp(mt, mt, mt)
+	owner := func(i, j int) int {
+		switch {
+		case i >= mt:
+			return d.Owner(i-mt, j)
+		case j >= mt:
+			return d.Owner(i, j-mt)
+		default:
+			return d.Owner(i, j)
+		}
+	}
+	words := float64(CommVolumeTiles(g, owner)) * float64(b*b) / float64(p*p)
+	bound := lowerbound.GEMMPerNode(float64(mt*b), p*p)
+	if ratio := words / bound; ratio < 0.7 || ratio > 1.05 {
+		t.Errorf("per-node volume %.0f words vs reference %.0f (ratio %.2f)", words, bound, ratio)
+	}
+}
+
+func TestGEMMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGEMMOp(0,1,1) did not panic")
+		}
+	}()
+	NewGEMMOp(0, 1, 1)
+}

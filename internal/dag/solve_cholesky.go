@@ -1,0 +1,186 @@
+package dag
+
+// CholeskySolve is the combined graph of a Cholesky factorization followed
+// by the two triangular substitutions (L·Y = B, then Lᵀ·X = Y) for nrhs
+// right-hand-side columns. The backward phase reads the transposed panel
+// tiles (j, i), so only the lower triangle is ever touched, as in the
+// factorization itself.
+type CholeskySolve struct {
+	*Cholesky
+	lay solveLayout
+}
+
+// NewCholeskySolve builds the factor-and-solve graph for the lower triangle
+// of an mt×mt tile matrix and nrhs right-hand-side columns.
+func NewCholeskySolve(mt, nrhs int) *CholeskySolve {
+	base := NewCholesky(mt)
+	return &CholeskySolve{Cholesky: base, lay: newSolveLayout(mt, nrhs, base.NumTasks())}
+}
+
+// Name implements Graph.
+func (g *CholeskySolve) Name() string { return "Cholesky+solve" }
+
+// NumTasks implements Graph.
+func (g *CholeskySolve) NumTasks() int { return g.lay.numTasks() }
+
+// NRHS returns the number of right-hand-side columns.
+func (g *CholeskySolve) NRHS() int { return g.lay.nrhs }
+
+// ID implements Graph.
+func (g *CholeskySolve) ID(t Task) int {
+	if t.Kind < FTRSM {
+		return g.Cholesky.ID(t)
+	}
+	return g.lay.id(t)
+}
+
+// TaskOf implements Graph.
+func (g *CholeskySolve) TaskOf(id int) Task {
+	if id < g.lay.base {
+		return g.Cholesky.TaskOf(id)
+	}
+	return g.lay.taskOf(id)
+}
+
+// Dependencies implements Graph.
+func (g *CholeskySolve) Dependencies(t Task, visit func(Task)) {
+	mt := g.lay.mt
+	i, j := t.I, t.J
+	switch t.Kind {
+	case FTRSM:
+		visit(Task{Kind: POTRF, L: i, I: i, J: i})
+		if i > 0 {
+			visit(Task{Kind: FGEMM, L: i - 1, I: i, J: i - 1})
+		}
+	case FGEMM:
+		visit(Task{Kind: FTRSM, L: j, I: j})
+		visit(Task{Kind: TRSMChol, L: j, I: i}) // produces matrix tile (i, j)
+		if j > 0 {
+			visit(Task{Kind: FGEMM, L: j - 1, I: i, J: j - 1})
+		}
+	case BCOPY:
+		visit(Task{Kind: FTRSM, L: i, I: i})
+	case BGEMM:
+		visit(Task{Kind: BTRSM, L: j, I: j})
+		visit(Task{Kind: TRSMChol, L: i, I: j}) // produces matrix tile (j, i)
+		if int(j) < mt-1 {
+			visit(Task{Kind: BGEMM, L: j + 1, I: i, J: j + 1})
+		} else {
+			visit(Task{Kind: BCOPY, L: i, I: i})
+		}
+	case BTRSM:
+		visit(Task{Kind: POTRF, L: i, I: i, J: i})
+		if int(i) < mt-1 {
+			visit(Task{Kind: BGEMM, L: i + 1, I: i, J: i + 1})
+		} else {
+			visit(Task{Kind: BCOPY, L: i, I: i})
+		}
+	default:
+		g.Cholesky.Dependencies(t, visit)
+	}
+}
+
+// NumDependencies implements Graph.
+func (g *CholeskySolve) NumDependencies(t Task) int {
+	if t.Kind < FTRSM {
+		return g.Cholesky.NumDependencies(t)
+	}
+	return g.lay.numDeps(t)
+}
+
+// Successors implements Graph.
+func (g *CholeskySolve) Successors(t Task, visit func(Task)) {
+	mt := g.lay.mt
+	switch t.Kind {
+	case POTRF:
+		g.Cholesky.Successors(t, visit)
+		visit(Task{Kind: FTRSM, L: t.L, I: t.L})
+		visit(Task{Kind: BTRSM, L: t.L, I: t.L})
+	case TRSMChol:
+		g.Cholesky.Successors(t, visit)
+		// Tile (I, L) feeds the forward update of RHS row I at step L and
+		// the backward update of RHS row L at step I.
+		visit(Task{Kind: FGEMM, L: t.L, I: t.I, J: t.L})
+		visit(Task{Kind: BGEMM, L: t.I, I: t.L, J: t.I})
+	case SYRK, GEMMChol:
+		g.Cholesky.Successors(t, visit)
+	case FTRSM:
+		i := int(t.I)
+		for i2 := i + 1; i2 < mt; i2++ {
+			visit(Task{Kind: FGEMM, L: t.I, I: int32(i2), J: t.I})
+		}
+		visit(Task{Kind: BCOPY, L: t.I, I: t.I})
+	case FGEMM:
+		if int(t.J)+1 < int(t.I) {
+			visit(Task{Kind: FGEMM, L: t.J + 1, I: t.I, J: t.J + 1})
+		} else {
+			visit(Task{Kind: FTRSM, L: t.I, I: t.I})
+		}
+	case BCOPY:
+		if int(t.I) < mt-1 {
+			visit(Task{Kind: BGEMM, L: int32(mt - 1), I: t.I, J: int32(mt - 1)})
+		} else {
+			visit(Task{Kind: BTRSM, L: t.I, I: t.I})
+		}
+	case BGEMM:
+		if int(t.J)-1 > int(t.I) {
+			visit(Task{Kind: BGEMM, L: t.J - 1, I: t.I, J: t.J - 1})
+		} else {
+			visit(Task{Kind: BTRSM, L: t.I, I: t.I})
+		}
+	case BTRSM:
+		j := int(t.I)
+		for i := 0; i < j; i++ {
+			visit(Task{Kind: BGEMM, L: t.I, I: int32(i), J: t.I})
+		}
+	}
+}
+
+// OutputTile implements Graph.
+func (g *CholeskySolve) OutputTile(t Task) (int, int) {
+	if t.Kind < FTRSM {
+		return g.Cholesky.OutputTile(t)
+	}
+	return g.lay.outputTile(t)
+}
+
+// InputTiles implements Graph.
+func (g *CholeskySolve) InputTiles(t Task, visit func(i, j int)) {
+	mt := g.lay.mt
+	i, j := int(t.I), int(t.J)
+	switch t.Kind {
+	case FTRSM, BTRSM:
+		visit(i, i)
+	case FGEMM:
+		visit(i, j)
+		visit(j, mt)
+	case BCOPY:
+		visit(i, mt)
+	case BGEMM:
+		visit(j, i) // transposed panel tile, lower triangle
+		visit(j, mt+1)
+	default:
+		g.Cholesky.InputTiles(t, visit)
+	}
+}
+
+// Flops implements Graph.
+func (g *CholeskySolve) Flops(t Task, b int) float64 {
+	if t.Kind < FTRSM {
+		return g.Cholesky.Flops(t, b)
+	}
+	return g.lay.flops(t, b)
+}
+
+// TotalFlops implements Graph.
+func (g *CholeskySolve) TotalFlops(b int) float64 {
+	return g.Cholesky.TotalFlops(b) + g.lay.totalFlops(b)
+}
+
+// OutputBytes implements SizedGraph: RHS tiles are b×nrhs, matrix tiles b×b.
+func (g *CholeskySolve) OutputBytes(t Task, b int) int {
+	if t.Kind >= FTRSM {
+		return 8 * b * g.lay.nrhs
+	}
+	return 8 * b * b
+}

@@ -1,0 +1,131 @@
+package dag
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSYRKNumTasks(t *testing.T) {
+	for mt := 1; mt <= 8; mt++ {
+		for kt := 1; kt <= 5; kt++ {
+			g := NewSYRKOp(mt, kt)
+			want := mt*kt + mt*kt + mt*(mt-1)/2*kt
+			if got := g.NumTasks(); got != want {
+				t.Errorf("SYRK(%d,%d): NumTasks = %d, want %d", mt, kt, got, want)
+			}
+		}
+	}
+}
+
+func TestSYRKIDRoundtrip(t *testing.T) {
+	for _, shape := range [][2]int{{1, 1}, {3, 2}, {5, 4}, {6, 1}} {
+		g := NewSYRKOp(shape[0], shape[1])
+		seen := make([]bool, g.NumTasks())
+		n := 0
+		ForEachTask(g, func(task Task) {
+			id := g.ID(task)
+			if id < 0 || id >= g.NumTasks() || seen[id] {
+				t.Fatalf("SYRK%v: bad/dup id %d for %v", shape, id, task)
+			}
+			seen[id] = true
+			if back := g.TaskOf(id); back != task {
+				t.Fatalf("SYRK%v: TaskOf(ID(%v)) = %v", shape, task, back)
+			}
+			n++
+		})
+		if n != g.NumTasks() {
+			t.Fatalf("SYRK%v: visited %d of %d", shape, n, g.NumTasks())
+		}
+	}
+}
+
+func TestSYRKEdgesConsistent(t *testing.T) {
+	g := NewSYRKOp(5, 3)
+	succ := map[string]bool{}
+	ForEachTask(g, func(task Task) {
+		g.Successors(task, func(s Task) { succ[fmt.Sprint(task, "->", s)] = true })
+	})
+	deps := map[string]bool{}
+	visited := make([]bool, g.NumTasks())
+	ForEachTask(g, func(task Task) {
+		n := 0
+		g.Dependencies(task, func(d Task) {
+			n++
+			deps[fmt.Sprint(d, "->", task)] = true
+			if !visited[g.ID(d)] {
+				t.Fatalf("%v before dependency %v", task, d)
+			}
+		})
+		if g.NumDependencies(task) != n {
+			t.Fatalf("NumDependencies(%v) = %d, want %d", task, g.NumDependencies(task), n)
+		}
+		visited[g.ID(task)] = true
+	})
+	if len(succ) != len(deps) {
+		t.Fatalf("%d successor edges vs %d dependency edges", len(succ), len(deps))
+	}
+	for e := range deps {
+		if !succ[e] {
+			t.Fatalf("edge %s missing from successors", e)
+		}
+	}
+}
+
+func TestSYRKFlops(t *testing.T) {
+	g := NewSYRKOp(4, 3)
+	sum := 0.0
+	ForEachTask(g, func(task Task) { sum += g.Flops(task, 7) })
+	total := g.TotalFlops(7)
+	if d := total - sum; d > 1e-9*total || d < -1e-9*total {
+		t.Errorf("TotalFlops %v != sum %v", total, sum)
+	}
+	// SYRK of an m×n A costs ~m²n flops: mt=4, kt=3, b=7 → m=28, n=21.
+	m, n := 28.0, 21.0
+	if ratio := total / (m * m * n); ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("flop asymptotics off: ratio %v", ratio)
+	}
+}
+
+// TestSYRKCommScalesWithColrow: the per-sweep communication under a
+// symmetric distribution is proportional to z̄ − 1, so SBC must communicate
+// less than the best 2DBC for equal node counts.
+func TestSYRKCommScalesWithColrow(t *testing.T) {
+	g := NewSYRKOp(24, 4)
+	// P=10: SBC pair (r=5, z̄=4) vs 2DBC 5x2 (colrow cost 5+2-1=6).
+	sbcOwner := newSBCOwner()
+	dbc := func(i, j int) int { return (i%5)*2 + j%2 }
+	vSBC := CommVolumeTiles(g, sbcOwner)
+	vDBC := CommVolumeTiles(g, dbc)
+	if vSBC >= vDBC {
+		t.Errorf("SBC volume %d not below 2DBC volume %d", vSBC, vDBC)
+	}
+}
+
+// newSBCOwner builds the r=5 SBC pair owner map (P=10) inline to avoid a
+// dependency cycle with package dist.
+func newSBCOwner() func(i, j int) int {
+	r := 5
+	pair := func(i, j int) int {
+		if i > j {
+			i, j = j, i
+		}
+		return i*(2*r-i-1)/2 + (j - i - 1)
+	}
+	return func(i, j int) int {
+		ci, cj := i%r, j%r
+		if ci == cj {
+			// Diagonal cells: any colrow node; pick pair {ci, (ci+1)%r}.
+			return pair(ci, (ci+1)%r)
+		}
+		return pair(ci, cj)
+	}
+}
+
+func TestSYRKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSYRKOp(0,1) did not panic")
+		}
+	}()
+	NewSYRKOp(0, 1)
+}

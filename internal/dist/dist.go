@@ -1,0 +1,88 @@
+// Package dist implements the data-distribution schemes studied in the paper:
+// the classical 2D Block-Cyclic distribution (2DBC), the paper's Generalized
+// 2DBC (G-2DBC, Section IV), the Symmetric Block Cyclic distribution (SBC,
+// from Beaumont et al., SC 2022, used as the symmetric baseline), and the
+// replication-time diagonal-cell resolver shared by SBC and GCR&M patterns.
+//
+// A Distribution maps matrix tiles to node identifiers; the task-based
+// runtime and the performance simulator consume this interface and nothing
+// else, exactly as Chameleon consumes a tile→node map.
+package dist
+
+import (
+	"fmt"
+
+	"anybc/internal/pattern"
+)
+
+// Distribution assigns every tile of a tiled matrix to one of P nodes,
+// numbered 0..P-1. Implementations must be deterministic: Owner must always
+// return the same node for the same tile.
+type Distribution interface {
+	// Name identifies the scheme and its parameters, e.g. "2DBC(5x4)".
+	Name() string
+	// Nodes returns P, the number of nodes the distribution uses.
+	Nodes() int
+	// Owner returns the node owning tile (i, j), with 0-based tile indices.
+	Owner(i, j int) int
+}
+
+// PatternDistribution is implemented by distributions that are defined by
+// cyclic replication of an explicit pattern; it exposes the pattern so that
+// cost metrics can be computed.
+type PatternDistribution interface {
+	Distribution
+	Pattern() *pattern.Pattern
+}
+
+// Cyclic is a Distribution defined by cyclic replication of a fully defined
+// pattern. Patterns with undefined diagonal cells must be wrapped in a
+// DiagResolver instead.
+type Cyclic struct {
+	name string
+	p    *pattern.Pattern
+	n    int
+}
+
+// NewCyclic wraps a fully defined pattern as a Distribution. It returns an
+// error if the pattern has undefined cells or fails validation.
+func NewCyclic(name string, p *pattern.Pattern) (*Cyclic, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("dist: %s: %w", name, err)
+	}
+	if p.UndefinedCells() > 0 {
+		return nil, fmt.Errorf("dist: %s: pattern has undefined cells; use NewDiagResolver", name)
+	}
+	return &Cyclic{name: name, p: p, n: p.NumNodes()}, nil
+}
+
+// Name implements Distribution.
+func (c *Cyclic) Name() string { return c.name }
+
+// Nodes implements Distribution.
+func (c *Cyclic) Nodes() int { return c.n }
+
+// Owner implements Distribution.
+func (c *Cyclic) Owner(i, j int) int { return c.p.Owner(i, j) }
+
+// Pattern implements PatternDistribution.
+func (c *Cyclic) Pattern() *pattern.Pattern { return c.p }
+
+// CostLU returns the LU communication cost metric of d's pattern, or NaN-free
+// fallback via sampling if d exposes no pattern. All built-in distributions
+// expose a pattern.
+func CostLU(d Distribution) float64 {
+	if pd, ok := d.(PatternDistribution); ok {
+		return pd.Pattern().CostLU()
+	}
+	panic(fmt.Sprintf("dist: %s does not expose a pattern", d.Name()))
+}
+
+// CostCholesky returns the Cholesky (colrow) communication cost metric of d's
+// pattern.
+func CostCholesky(d Distribution) float64 {
+	if pd, ok := d.(PatternDistribution); ok {
+		return pd.Pattern().CostCholesky()
+	}
+	panic(fmt.Sprintf("dist: %s does not expose a pattern", d.Name()))
+}

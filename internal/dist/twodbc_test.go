@@ -1,0 +1,137 @@
+package dist
+
+import (
+	"testing"
+)
+
+func TestTwoDBCOwner(t *testing.T) {
+	d := NewTwoDBC(2, 3)
+	if d.Nodes() != 6 {
+		t.Fatalf("Nodes = %d, want 6", d.Nodes())
+	}
+	cases := []struct{ i, j, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 2, 2},
+		{1, 0, 3}, {1, 1, 4}, {1, 2, 5},
+		{2, 3, 0}, {3, 4, 4}, {5, 5, 5},
+	}
+	for _, c := range cases {
+		if got := d.Owner(c.i, c.j); got != c.want {
+			t.Errorf("Owner(%d,%d) = %d, want %d", c.i, c.j, got, c.want)
+		}
+	}
+	// Owner must agree with cyclic replication of the exposed pattern.
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			if d.Owner(i, j) != d.Pattern().Owner(i, j) {
+				t.Fatalf("Owner and Pattern.Owner disagree at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTwoDBCCost(t *testing.T) {
+	// T = r + c for any 2DBC grid.
+	for _, g := range [][2]int{{1, 1}, {2, 3}, {4, 4}, {23, 1}, {7, 3}} {
+		d := NewTwoDBC(g[0], g[1])
+		if got, want := CostLU(d), float64(g[0]+g[1]); got != want {
+			t.Errorf("CostLU(2DBC %dx%d) = %v, want %v", g[0], g[1], got, want)
+		}
+		if err := d.Pattern().Validate(); err != nil {
+			t.Errorf("2DBC %dx%d pattern invalid: %v", g[0], g[1], err)
+		}
+		if !d.Pattern().IsBalanced() {
+			t.Errorf("2DBC %dx%d pattern not balanced", g[0], g[1])
+		}
+	}
+}
+
+func TestBest2DBC(t *testing.T) {
+	cases := []struct{ p, r, c int }{
+		{16, 4, 4},
+		{20, 5, 4},
+		{21, 7, 3},
+		{22, 11, 2},
+		{23, 23, 1},
+		{30, 6, 5},
+		{31, 31, 1},
+		{35, 7, 5},
+		{36, 6, 6},
+		{39, 13, 3},
+		{1, 1, 1},
+		{2, 2, 1},
+	}
+	for _, c := range cases {
+		d := Best2DBC(c.p)
+		r, cc := d.Grid()
+		if r != c.r || cc != c.c {
+			t.Errorf("Best2DBC(%d) = %dx%d, want %dx%d", c.p, r, cc, c.r, c.c)
+		}
+	}
+}
+
+// TestBest2DBCTableIa checks the 2DBC column of the paper's Table Ia:
+// the best grid and its cost T for each experimental P. For the degenerate
+// P×1 grids the table prints P, but the strict metric is x̄+ȳ = P+1 (each
+// row holds 1 node, the single column holds P); the communication formula
+// Q ∝ (T−2) = P−1 confirms P+1 is the consistent value, so we assert it.
+func TestBest2DBCTableIa(t *testing.T) {
+	cases := []struct {
+		p    int
+		cost float64
+	}{
+		{16, 8}, {20, 9}, {21, 10}, {22, 13}, {23, 24},
+		{30, 11}, {31, 32}, {35, 12}, {36, 12}, {39, 16},
+	}
+	for _, c := range cases {
+		d := Best2DBC(c.p)
+		if got := CostLU(d); got != c.cost {
+			t.Errorf("Table Ia: cost of best 2DBC for P=%d = %v, want %v", c.p, got, c.cost)
+		}
+	}
+}
+
+func TestBest2DBCAtMost(t *testing.T) {
+	// For P=23 the best grid at most 23 nodes is the square 4x4; the paper's
+	// candidates were 23x1, 11x2, 7x3, 5x4, 4x4.
+	d := Best2DBCAtMost(23)
+	r, c := d.Grid()
+	if r != 4 || c != 4 {
+		t.Errorf("Best2DBCAtMost(23) = %dx%d, want 4x4", r, c)
+	}
+	// For a perfect square it uses all nodes.
+	d = Best2DBCAtMost(36)
+	r, c = d.Grid()
+	if r != 6 || c != 6 {
+		t.Errorf("Best2DBCAtMost(36) = %dx%d, want 6x6", r, c)
+	}
+}
+
+func TestAll2DBCGrids(t *testing.T) {
+	grids := All2DBCGrids(12)
+	if len(grids) != 3 { // 12x1, 6x2, 4x3
+		t.Fatalf("All2DBCGrids(12) returned %d grids, want 3", len(grids))
+	}
+	for _, g := range grids {
+		r, c := g.Grid()
+		if r*c != 12 || r < c {
+			t.Errorf("unexpected grid %dx%d", r, c)
+		}
+	}
+}
+
+func TestTwoDBCPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTwoDBC(0, 3) },
+		func() { Best2DBC(0) },
+		func() { Best2DBCAtMost(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

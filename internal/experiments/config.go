@@ -1,0 +1,117 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: the analytic cost studies (Figures 4, 9, 10 and Table I) come
+// straight from the pattern mathematics, and the performance studies
+// (Figures 1, 5, 6, 7, 11, 12) run the discrete-event simulator standing in
+// for the paper's 44-node cluster. Each generator returns typed rows; the
+// render helpers print the same series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"anybc/internal/dist"
+	"anybc/internal/gcrm"
+	"anybc/internal/simulate"
+)
+
+// SimConfig parameterizes the performance experiments.
+type SimConfig struct {
+	// B is the tile size (paper: 500).
+	B int
+	// Ns are the matrix sizes swept in the per-figure experiments.
+	Ns []int
+	// ScalingN is the matrix size of the strong-scaling study (Figure 7).
+	ScalingN int
+	// Machine is the simulated platform.
+	Machine simulate.Machine
+	// GCRMSearch configures pattern searches for the symmetric experiments.
+	GCRMSearch gcrm.SearchOptions
+}
+
+// PaperSimConfig reproduces the paper's experimental scales: matrices from
+// 50,000 to 200,000 (tile 500) and N = 200,000 for strong scaling. Full
+// sweeps at this scale simulate tens of millions of tasks; use
+// DefaultSimConfig for quicker runs with the same shapes.
+func PaperSimConfig() SimConfig {
+	return SimConfig{
+		B:          500,
+		Ns:         []int{50000, 100000, 150000, 200000},
+		ScalingN:   200000,
+		Machine:    simulate.PaperMachine(),
+		GCRMSearch: gcrm.DefaultSearchOptions(),
+	}
+}
+
+// DefaultSimConfig scales the sweeps down by 2-4× (N up to 100,000) so a
+// full reproduction finishes in minutes; the compute/communication shapes
+// are preserved.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{
+		B:          500,
+		Ns:         []int{25000, 50000, 75000, 100000},
+		ScalingN:   100000,
+		Machine:    simulate.PaperMachine(),
+		GCRMSearch: gcrm.SearchOptions{Seeds: 40, SizeFactor: 4, BaseSeed: 1, Parallel: true},
+	}
+}
+
+// QuickSimConfig is the benchmark-friendly configuration: small sweeps that
+// finish in seconds.
+func QuickSimConfig() SimConfig {
+	return SimConfig{
+		B:          500,
+		Ns:         []int{12500, 25000, 50000},
+		ScalingN:   50000,
+		Machine:    simulate.PaperMachine(),
+		GCRMSearch: gcrm.SearchOptions{Seeds: 10, SizeFactor: 3, BaseSeed: 1, Parallel: true},
+	}
+}
+
+// gcrmCache memoizes pattern searches: patterns depend only on P (and the
+// search options), exactly the "database of patterns" the paper's conclusion
+// suggests.
+var gcrmCache sync.Map // key string -> *gcrm.Result
+
+func cacheKey(P int, o gcrm.SearchOptions) string {
+	return fmt.Sprintf("%d/%d/%g/%d/%d", P, o.Seeds, o.SizeFactor, o.MinSize, o.BaseSeed)
+}
+
+// GCRMPattern returns the best GCR&M pattern for P under the given search
+// options, caching results process-wide.
+func GCRMPattern(P int, opts gcrm.SearchOptions) (*gcrm.Result, error) {
+	key := cacheKey(P, opts)
+	if v, ok := gcrmCache.Load(key); ok {
+		return v.(*gcrm.Result), nil
+	}
+	res, err := gcrm.Search(P, opts)
+	if err != nil {
+		return nil, err
+	}
+	gcrmCache.Store(key, res)
+	return res, nil
+}
+
+// GCRMDistribution wraps the best GCR&M pattern for P as a Distribution.
+func GCRMDistribution(P int, opts gcrm.SearchOptions) (dist.Distribution, error) {
+	res, err := GCRMPattern(P, opts)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("GCR&M(%dx%d,P=%d)", res.R, res.R, P)
+	return dist.NewDiagResolver(name, res.Pattern), nil
+}
+
+// freshSymmetric re-wraps a symmetric distribution with a fresh diagonal
+// resolver so simulator runs do not share resolver state.
+func freshSymmetric(d dist.Distribution) dist.Distribution {
+	pd, ok := d.(dist.PatternDistribution)
+	if !ok {
+		return d
+	}
+	p := pd.Pattern()
+	if p.UndefinedCells() == 0 {
+		return d
+	}
+	return dist.NewDiagResolver(d.Name(), p.Clone())
+}

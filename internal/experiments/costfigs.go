@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"anybc/internal/dist"
+	"anybc/internal/gcrm"
+	"anybc/internal/lowerbound"
+)
+
+// CostPoint is one point of a cost-versus-P study (Figures 4 and 10).
+type CostPoint struct {
+	P      int
+	Series string
+	T      float64
+}
+
+// Figure4 reproduces Figure 4: the LU communication cost of the best exact-P
+// 2DBC pattern and of the G-2DBC pattern for P = 1..maxP, with the 2√P
+// reference.
+func Figure4(maxP int) []CostPoint {
+	var out []CostPoint
+	for p := 1; p <= maxP; p++ {
+		out = append(out,
+			CostPoint{P: p, Series: "2DBC", T: dist.Best2DBC(p).Pattern().CostLU()},
+			CostPoint{P: p, Series: "G-2DBC", T: dist.NewG2DBC(p).Pattern().CostLU()},
+			CostPoint{P: p, Series: "2sqrt(P)", T: lowerbound.PatternCostLU(p)},
+		)
+	}
+	return out
+}
+
+// Figure9 reproduces Figure 9: every (pattern size, seed) candidate the
+// GCR&M search evaluates for one P, exposing the effect of the pattern size
+// and of random tie-breaking on the cost.
+func Figure9(P int, opts gcrm.SearchOptions) (best *gcrm.Result, all []gcrm.Candidate, err error) {
+	return gcrm.Sample(P, opts)
+}
+
+// Figure10 reproduces Figure 10: the symmetric (colrow) cost of every
+// pattern family for P = 2..maxP — 2DBC and G-2DBC (cost−1 rule), SBC at its
+// valid node counts, GCR&M everywhere, and the √(2P) and √(3P/2) laws.
+func Figure10(maxP int, opts gcrm.SearchOptions) ([]CostPoint, error) {
+	var out []CostPoint
+	for p := 2; p <= maxP; p++ {
+		out = append(out,
+			CostPoint{P: p, Series: "2DBC", T: dist.Best2DBC(p).Pattern().CostLU() - 1},
+			CostPoint{P: p, Series: "G-2DBC", T: dist.NewG2DBC(p).Pattern().CostLU() - 1},
+			CostPoint{P: p, Series: "sqrt(2P)", T: lowerbound.SBCBasicLaw(p)},
+			CostPoint{P: p, Series: "sqrt(3P/2)", T: lowerbound.GCRMEmpiricalLaw(p)},
+		)
+		if sbc, errSBC := dist.NewSBC(p); errSBC == nil {
+			out = append(out, CostPoint{P: p, Series: "SBC", T: sbc.Pattern().CostCholesky()})
+		}
+		if sts, errSTS := dist.NewSTSForP(p); errSTS == nil {
+			// Extension: the explicit Steiner-triple-system points, sitting
+			// on the √(3P/2) line the paper observes empirically.
+			out = append(out, CostPoint{P: p, Series: "STS", T: sts.Pattern().CostCholesky()})
+		}
+		res, err := GCRMPattern(p, opts)
+		if err != nil {
+			// GCR&M needs r(r-1) ≥ P within the size cap; for tiny P with a
+			// small cap there may be no feasible size — skip the point.
+			continue
+		}
+		out = append(out, CostPoint{P: p, Series: "GCR&M", T: res.Cost})
+	}
+	return out, nil
+}

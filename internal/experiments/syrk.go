@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+	"anybc/internal/simulate"
+)
+
+// syrkDist places the A-tile columns of the SYRK graph with the same
+// pattern as the matrix (mirrors runtime's placement, duplicated here so the
+// simulator needs no runtime dependency).
+type syrkDist struct {
+	dist.Distribution
+	mt int
+}
+
+func (s syrkDist) Owner(i, j int) int {
+	if j >= s.mt {
+		return s.Distribution.Owner(i, j-s.mt)
+	}
+	return s.Distribution.Owner(i, j)
+}
+
+// SyrkComparison simulates the symmetric rank-k update C = C + A·Aᵀ (A with
+// kt = mt/4 tile columns) under 2DBC, SBC and GCR&M for the available node
+// count P — the second symmetric kernel the SBC line of work targets. It is
+// an extension beyond the paper's figures; the expectation from the SC22
+// results it recalls is SBC-class distributions beating 2DBC.
+func SyrkComparison(cfg SimConfig, p int) ([]PerfPoint, error) {
+	gcrmD, err := GCRMDistribution(p, cfg.GCRMSearch)
+	if err != nil {
+		return nil, err
+	}
+	var out []PerfPoint
+	for _, n := range cfg.Ns {
+		mt := n / cfg.B
+		if mt < 4 {
+			return nil, fmt.Errorf("experiments: N=%d too small for SYRK study", n)
+		}
+		kt := mt / 4
+		g := dag.NewSYRKOp(mt, kt)
+		for _, d := range []dist.Distribution{
+			dist.Best2DBC(p),
+			dist.Distribution(dist.BestSBCAtMost(p)),
+			gcrmD,
+		} {
+			wrapped := syrkDist{Distribution: freshSymmetric(d), mt: mt}
+			res, err := simulate.Run(g, cfg.B, wrapped, cfg.Machine, simulate.Options{})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PerfPoint{
+				N:        n,
+				P:        d.Nodes(),
+				Series:   d.Name(),
+				GFlops:   res.GFlops(),
+				PerNode:  res.GFlops() / float64(d.Nodes()),
+				Messages: res.Messages,
+				Makespan: res.Makespan,
+			})
+		}
+	}
+	return out, nil
+}
+
+// STSComparison simulates Cholesky at P = 35 — the paper's test case where a
+// Bose Steiner triple system exists — comparing the explicit STS pattern
+// (cost 7.0), the GCR&M heuristic (≈7.48) and the SBC fallback on 32 nodes
+// (cost 8). This extends Figure 12 with the explicit-pattern answer to the
+// paper's open question.
+func STSComparison(cfg SimConfig) ([]PerfPoint, error) {
+	const p = 35
+	sts, err := dist.NewSTSForP(p)
+	if err != nil {
+		return nil, err
+	}
+	gcrmD, err := GCRMDistribution(p, cfg.GCRMSearch)
+	if err != nil {
+		return nil, err
+	}
+	var out []PerfPoint
+	for _, n := range cfg.Ns {
+		mt := n / cfg.B
+		g := dag.NewCholesky(mt)
+		for _, d := range []dist.Distribution{
+			dist.Distribution(sts), gcrmD, dist.Distribution(dist.BestSBCAtMost(p)),
+		} {
+			res, err := simulate.Run(g, cfg.B, freshSymmetric(d), cfg.Machine, simulate.Options{})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PerfPoint{
+				N: n, P: d.Nodes(), Series: d.Name(),
+				GFlops:   res.GFlops(),
+				PerNode:  res.GFlops() / float64(d.Nodes()),
+				Messages: res.Messages,
+				Makespan: res.Makespan,
+			})
+		}
+	}
+	return out, nil
+}
+
+// VariantComparison simulates the right- and left-looking Cholesky variants
+// under the same distribution: identical communication volumes, different
+// overlap. Used by the ablation bench to show the paper's conclusions do not
+// depend on the right-looking choice.
+func VariantComparison(cfg SimConfig, p, n int) (right, left PerfPoint, err error) {
+	mt := n / cfg.B
+	gcrmD, err := GCRMDistribution(p, cfg.GCRMSearch)
+	if err != nil {
+		return
+	}
+	for idx, g := range []dag.Graph{dag.NewCholesky(mt), dag.NewCholeskyLeft(mt)} {
+		var res *simulate.Result
+		res, err = simulate.Run(g, cfg.B, freshSymmetric(gcrmD), cfg.Machine, simulate.Options{})
+		if err != nil {
+			return
+		}
+		pt := PerfPoint{
+			N: n, P: p, Series: g.Name(),
+			GFlops:   res.GFlops(),
+			PerNode:  res.GFlops() / float64(p),
+			Messages: res.Messages,
+			Makespan: res.Makespan,
+		}
+		if idx == 0 {
+			right = pt
+		} else {
+			left = pt
+		}
+	}
+	return
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"math"
+
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+	"anybc/internal/simulate"
+)
+
+// WeakScaling is an extension of the paper's strong-scaling study
+// (Figure 7a): the matrix grows with the node count so that memory per node
+// stays constant (N = baseN·√(P/P₀)), and the metric of interest is the
+// per-node efficiency. Under 2DBC the efficiency staircases with the grid
+// quality; G-2DBC keeps it flat in P — the "any number of nodes" property
+// under the weak-scaling lens.
+func WeakScaling(cfg SimConfig, baseN, baseP int, ps []int) ([]PerfPoint, error) {
+	var out []PerfPoint
+	for _, p := range ps {
+		n := int(float64(baseN) * math.Sqrt(float64(p)/float64(baseP)))
+		// Round to a whole number of tiles.
+		mt := (n + cfg.B/2) / cfg.B
+		if mt < 2 {
+			mt = 2
+		}
+		g := dag.NewLU(mt)
+		for _, d := range []dist.Distribution{dist.Best2DBCAtMost(p), dist.NewG2DBC(p)} {
+			res, err := simulate.Run(g, cfg.B, d, cfg.Machine, simulate.Options{})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PerfPoint{
+				N: mt * cfg.B, P: p, Series: d.Name(),
+				GFlops:   res.GFlops(),
+				PerNode:  res.GFlops() / float64(d.Nodes()),
+				Messages: res.Messages,
+				Makespan: res.Makespan,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,34 @@
+package gcrm_test
+
+import (
+	"fmt"
+
+	"anybc/internal/gcrm"
+)
+
+// ExampleSearch runs the paper's search protocol (reduced seeds for speed)
+// for P = 23, where no SBC distribution exists: GCR&M finds a balanced
+// square pattern on all 23 nodes with an SBC-class cost.
+func ExampleSearch() {
+	res, err := gcrm.Search(23, gcrm.SearchOptions{
+		Seeds: 20, SizeFactor: 5, BaseSeed: 1, Parallel: false,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("pattern %dx%d, balanced=%v, cost below SBC law: %v\n",
+		res.R, res.R,
+		res.Pattern.BalanceSpread() <= 1,
+		res.Cost < 6.8) // √(2·23) ≈ 6.78
+	// Output:
+	// pattern 23x23, balanced=true, cost below SBC law: true
+}
+
+// ExampleFeasible shows Equation (3): for P = 23, a 2x2 pattern cannot be
+// balanced, while r = 22 qualifies.
+func ExampleFeasible() {
+	fmt.Println(gcrm.Feasible(23, 2), gcrm.Feasible(23, 22))
+	// Output:
+	// false true
+}

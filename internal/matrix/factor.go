@@ -1,0 +1,62 @@
+package matrix
+
+import (
+	"fmt"
+
+	"anybc/internal/tile"
+)
+
+// FactorLU performs the sequential right-looking tiled unpivoted LU
+// factorization in place. It is the single-node reference implementation the
+// distributed runtime is validated against; the task order matches the DAG
+// of package dag exactly.
+func FactorLU(a *Dense) error {
+	if a.MT != a.NT {
+		panic(fmt.Sprintf("matrix: FactorLU needs a square tile matrix, got %dx%d", a.MT, a.NT))
+	}
+	mt := a.MT
+	for l := 0; l < mt; l++ {
+		if err := tile.Getrf(a.Tile(l, l)); err != nil {
+			return fmt.Errorf("matrix: GETRF(%d,%d): %w", l, l, err)
+		}
+		for i := l + 1; i < mt; i++ {
+			// Column panel: A[i][l] := A[i][l] · U(l,l)⁻¹.
+			tile.Trsm(tile.Right, tile.Upper, tile.NoTrans, tile.NonUnit, 1, a.Tile(l, l), a.Tile(i, l))
+		}
+		for j := l + 1; j < mt; j++ {
+			// Row panel: A[l][j] := L(l,l)⁻¹ · A[l][j].
+			tile.Trsm(tile.Left, tile.Lower, tile.NoTrans, tile.Unit, 1, a.Tile(l, l), a.Tile(l, j))
+		}
+		for i := l + 1; i < mt; i++ {
+			for j := l + 1; j < mt; j++ {
+				// Trailing update: A[i][j] -= A[i][l] · A[l][j].
+				tile.Gemm(tile.NoTrans, tile.NoTrans, -1, a.Tile(i, l), a.Tile(l, j), 1, a.Tile(i, j))
+			}
+		}
+	}
+	return nil
+}
+
+// FactorCholesky performs the sequential right-looking tiled Cholesky
+// factorization in place on the lower-stored symmetric matrix.
+func FactorCholesky(a *SymmetricLower) error {
+	mt := a.MT
+	for l := 0; l < mt; l++ {
+		if err := tile.Potrf(a.Tile(l, l)); err != nil {
+			return fmt.Errorf("matrix: POTRF(%d,%d): %w", l, l, err)
+		}
+		for i := l + 1; i < mt; i++ {
+			// Panel: A[i][l] := A[i][l] · L(l,l)⁻ᵀ.
+			tile.Trsm(tile.Right, tile.Lower, tile.TransT, tile.NonUnit, 1, a.Tile(l, l), a.Tile(i, l))
+		}
+		for i := l + 1; i < mt; i++ {
+			// Diagonal update: A[i][i] -= A[i][l] · A[i][l]ᵀ (lower only).
+			tile.Syrk(tile.Lower, tile.NoTrans, -1, a.Tile(i, l), 1, a.Tile(i, i))
+			for j := l + 1; j < i; j++ {
+				// Off-diagonal update: A[i][j] -= A[i][l] · A[j][l]ᵀ.
+				tile.Gemm(tile.NoTrans, tile.TransT, -1, a.Tile(i, l), a.Tile(j, l), 1, a.Tile(i, j))
+			}
+		}
+	}
+	return nil
+}

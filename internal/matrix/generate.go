@@ -1,0 +1,59 @@
+package matrix
+
+// splitmix64 is a tiny, high-quality mixing function; the generators below
+// use it to derive element values from (seed, i, j) without any shared state,
+// so distributed nodes can materialize their tiles independently.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ElementAt returns a deterministic pseudo-random value in [-1, 1) for global
+// element (i, j) under the given seed.
+func ElementAt(seed int64, i, j int) float64 {
+	h := splitmix64(uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0x1000003 + uint64(j))
+	return float64(h>>11)/float64(1<<53)*2 - 1
+}
+
+// DiagDominantAt is the element generator for a non-symmetric diagonally
+// dominant matrix of global size m: random off-diagonal entries in [-1, 1)
+// and diagonal entries m + 1 + |random|, making unpivoted LU stable.
+func DiagDominantAt(seed int64, m, i, j int) float64 {
+	if i == j {
+		return float64(m) + 1 + (ElementAt(seed, i, j)+1)/2
+	}
+	return ElementAt(seed, i, j)
+}
+
+// SPDAt is the element generator for a symmetric positive definite matrix of
+// global size m: symmetric random off-diagonals and dominant positive
+// diagonal (strict diagonal dominance with positive diagonal implies SPD).
+func SPDAt(seed int64, m, i, j int) float64 {
+	if i == j {
+		return float64(m) + 1 + (ElementAt(seed, i, i)+1)/2
+	}
+	if i < j {
+		i, j = j, i
+	}
+	return ElementAt(seed, i, j)
+}
+
+// NewDiagDominant builds an mt×mt tiled diagonally dominant matrix with b×b
+// tiles, suitable for unpivoted LU factorization.
+func NewDiagDominant(mt, b int, seed int64) *Dense {
+	d := NewDense(mt, mt, b)
+	m := mt * b
+	d.FillFunc(func(gi, gj int) float64 { return DiagDominantAt(seed, m, gi, gj) })
+	return d
+}
+
+// NewSPD builds an mt×mt tiled symmetric positive definite matrix (lower
+// storage) with b×b tiles, suitable for Cholesky factorization.
+func NewSPD(mt, b int, seed int64) *SymmetricLower {
+	s := NewSymmetricLower(mt, b)
+	m := mt * b
+	s.FillLowerFunc(func(gi, gj int) float64 { return SPDAt(seed, m, gi, gj) })
+	return s
+}

@@ -1,0 +1,168 @@
+// Package matrix provides tiled dense and symmetric matrices: the data
+// structures the factorizations run on. A matrix is an mt×nt grid of b×b
+// tiles; symmetric matrices store only the lower-triangular tiles, exactly as
+// the paper's Cholesky experiments keep only half of A.
+//
+// Element generators are pure functions of (seed, i, j), so every node of the
+// virtual cluster can materialize its own tiles without communication — the
+// same trick Chameleon's dplrnt/dplgsy generators use.
+package matrix
+
+import (
+	"fmt"
+	"math"
+
+	"anybc/internal/tile"
+)
+
+// Dense is an mt×nt tiled matrix of b×b tiles.
+type Dense struct {
+	MT, NT, B int
+	tiles     []*tile.Tile
+}
+
+// NewDense allocates an mt×nt tile matrix with b×b zero tiles.
+func NewDense(mt, nt, b int) *Dense {
+	if mt <= 0 || nt <= 0 || b <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape mt=%d nt=%d b=%d", mt, nt, b))
+	}
+	d := &Dense{MT: mt, NT: nt, B: b, tiles: make([]*tile.Tile, mt*nt)}
+	for i := range d.tiles {
+		d.tiles[i] = tile.New(b, b)
+	}
+	return d
+}
+
+// Tile returns tile (i, j) (0-based tile coordinates).
+func (d *Dense) Tile(i, j int) *tile.Tile {
+	return d.tiles[i*d.NT+j]
+}
+
+// SetTile replaces tile (i, j).
+func (d *Dense) SetTile(i, j int, t *tile.Tile) {
+	if t.Rows != d.B || t.Cols != d.B {
+		panic("matrix: tile shape mismatch")
+	}
+	d.tiles[i*d.NT+j] = t
+}
+
+// Rows and Cols return the global element dimensions.
+func (d *Dense) Rows() int { return d.MT * d.B }
+
+// Cols returns the number of element columns.
+func (d *Dense) Cols() int { return d.NT * d.B }
+
+// At returns global element (gi, gj).
+func (d *Dense) At(gi, gj int) float64 {
+	return d.Tile(gi/d.B, gj/d.B).At(gi%d.B, gj%d.B)
+}
+
+// Set stores global element (gi, gj).
+func (d *Dense) Set(gi, gj int, v float64) {
+	d.Tile(gi/d.B, gj/d.B).Set(gi%d.B, gj%d.B, v)
+}
+
+// Clone returns a deep copy.
+func (d *Dense) Clone() *Dense {
+	c := NewDense(d.MT, d.NT, d.B)
+	for i, t := range d.tiles {
+		c.tiles[i] = t.Clone()
+	}
+	return c
+}
+
+// FillFunc sets every element from a generator function of global indices.
+func (d *Dense) FillFunc(f func(gi, gj int) float64) {
+	for gi := 0; gi < d.Rows(); gi++ {
+		for gj := 0; gj < d.Cols(); gj++ {
+			d.Set(gi, gj, f(gi, gj))
+		}
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm over all elements.
+func (d *Dense) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, t := range d.tiles {
+		n := t.FrobeniusNorm()
+		s += n * n
+	}
+	return math.Sqrt(s)
+}
+
+// SymmetricLower is an mt×mt tiled symmetric matrix storing only tiles
+// (i, j) with i ≥ j. Element reads above the diagonal are mirrored.
+type SymmetricLower struct {
+	MT, B int
+	tiles []*tile.Tile // packed lower triangle, index i(i+1)/2 + j
+}
+
+// NewSymmetricLower allocates an mt×mt symmetric tile matrix.
+func NewSymmetricLower(mt, b int) *SymmetricLower {
+	if mt <= 0 || b <= 0 {
+		panic(fmt.Sprintf("matrix: invalid shape mt=%d b=%d", mt, b))
+	}
+	s := &SymmetricLower{MT: mt, B: b, tiles: make([]*tile.Tile, mt*(mt+1)/2)}
+	for i := range s.tiles {
+		s.tiles[i] = tile.New(b, b)
+	}
+	return s
+}
+
+// Tile returns stored tile (i, j), requiring i ≥ j.
+func (s *SymmetricLower) Tile(i, j int) *tile.Tile {
+	if i < j {
+		panic(fmt.Sprintf("matrix: tile (%d,%d) is above the diagonal", i, j))
+	}
+	return s.tiles[i*(i+1)/2+j]
+}
+
+// Rows returns the global element dimension.
+func (s *SymmetricLower) Rows() int { return s.MT * s.B }
+
+// At returns global element (gi, gj), mirroring the upper triangle.
+func (s *SymmetricLower) At(gi, gj int) float64 {
+	if gi < gj {
+		gi, gj = gj, gi
+	}
+	ti, tj := gi/s.B, gj/s.B
+	return s.Tile(ti, tj).At(gi%s.B, gj%s.B)
+}
+
+// Set stores global element (gi, gj) in the lower triangle.
+func (s *SymmetricLower) Set(gi, gj int, v float64) {
+	if gi < gj {
+		gi, gj = gj, gi
+	}
+	s.Tile(gi/s.B, gj/s.B).Set(gi%s.B, gj%s.B, v)
+}
+
+// Clone returns a deep copy.
+func (s *SymmetricLower) Clone() *SymmetricLower {
+	c := NewSymmetricLower(s.MT, s.B)
+	for i, t := range s.tiles {
+		c.tiles[i] = t.Clone()
+	}
+	return c
+}
+
+// FillLowerFunc sets every stored element from a generator of global indices
+// (called only with gi ≥ gj).
+func (s *SymmetricLower) FillLowerFunc(f func(gi, gj int) float64) {
+	for ti := 0; ti < s.MT; ti++ {
+		for tj := 0; tj <= ti; tj++ {
+			t := s.Tile(ti, tj)
+			for i := 0; i < s.B; i++ {
+				for j := 0; j < s.B; j++ {
+					gi, gj := ti*s.B+i, tj*s.B+j
+					if gi >= gj {
+						t.Set(i, j, f(gi, gj))
+					} else {
+						// Upper part of a diagonal tile mirrors the lower.
+						t.Set(i, j, f(gj, gi))
+					}
+				}
+			}
+		}
+	}
+}

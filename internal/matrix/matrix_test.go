@@ -1,0 +1,191 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseAccessors(t *testing.T) {
+	d := NewDense(2, 3, 4)
+	if d.Rows() != 8 || d.Cols() != 12 {
+		t.Fatalf("global dims %dx%d, want 8x12", d.Rows(), d.Cols())
+	}
+	d.Set(5, 9, 3.5)
+	if d.At(5, 9) != 3.5 {
+		t.Fatal("Set/At broken")
+	}
+	if d.Tile(1, 2).At(1, 1) != 3.5 {
+		t.Fatal("element landed in the wrong tile")
+	}
+	c := d.Clone()
+	c.Set(5, 9, -1)
+	if d.At(5, 9) != 3.5 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDense(0,1,1) did not panic")
+		}
+	}()
+	NewDense(0, 1, 1)
+}
+
+func TestSymmetricAccessors(t *testing.T) {
+	s := NewSymmetricLower(3, 2)
+	if s.Rows() != 6 {
+		t.Fatalf("Rows = %d, want 6", s.Rows())
+	}
+	s.Set(4, 1, 2.5)
+	if s.At(4, 1) != 2.5 || s.At(1, 4) != 2.5 {
+		t.Fatal("symmetric At/Set broken")
+	}
+	// Upper-triangle tile access must panic.
+	defer func() {
+		if recover() == nil {
+			t.Error("Tile above diagonal did not panic")
+		}
+	}()
+	s.Tile(0, 1)
+}
+
+func TestFillFunc(t *testing.T) {
+	d := NewDense(2, 2, 3)
+	d.FillFunc(func(i, j int) float64 { return float64(100*i + j) })
+	if d.At(4, 5) != 405 {
+		t.Fatalf("FillFunc: At(4,5) = %v", d.At(4, 5))
+	}
+}
+
+func TestFillLowerFuncMirrorsDiagonalTiles(t *testing.T) {
+	s := NewSymmetricLower(2, 3)
+	s.FillLowerFunc(func(i, j int) float64 { return float64(10*i + j) })
+	// Inside a diagonal tile, the upper part mirrors: element (0,1) of tile
+	// (0,0) equals f(1,0) = 10.
+	if got := s.Tile(0, 0).At(0, 1); got != 10 {
+		t.Fatalf("diagonal tile mirror = %v, want 10", got)
+	}
+	if s.At(1, 0) != 10 || s.At(0, 1) != 10 {
+		t.Fatal("symmetric read broken")
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := NewDiagDominant(3, 4, 7)
+	b := NewDiagDominant(3, 4, 7)
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if a.At(i, j) != b.At(i, j) {
+				t.Fatal("DiagDominant not deterministic")
+			}
+		}
+	}
+	c := NewDiagDominant(3, 4, 8)
+	same := true
+	for i := 0; i < a.Rows() && same; i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if a.At(i, j) != c.At(i, j) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical matrices")
+	}
+}
+
+func TestDiagDominance(t *testing.T) {
+	a := NewDiagDominant(2, 5, 3)
+	m := a.Rows()
+	for i := 0; i < m; i++ {
+		off := 0.0
+		for j := 0; j < m; j++ {
+			if i != j {
+				off += math.Abs(a.At(i, j))
+			}
+		}
+		if a.At(i, i) <= off {
+			t.Fatalf("row %d not diagonally dominant: %v <= %v", i, a.At(i, i), off)
+		}
+	}
+}
+
+func TestSPDSymmetry(t *testing.T) {
+	s := NewSPD(3, 3, 5)
+	m := s.Rows()
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if s.At(i, j) != s.At(j, i) {
+				t.Fatalf("SPD matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+		if s.At(i, i) <= float64(m) {
+			t.Fatalf("SPD diagonal too small at %d", i)
+		}
+	}
+}
+
+func TestFactorLUResidual(t *testing.T) {
+	for _, mt := range []int{1, 2, 4, 6} {
+		orig := NewDiagDominant(mt, 8, 42)
+		fact := orig.Clone()
+		if err := FactorLU(fact); err != nil {
+			t.Fatalf("mt=%d: %v", mt, err)
+		}
+		if res := ResidualLU(orig, fact); res > 1e-12 {
+			t.Errorf("mt=%d: LU residual %g", mt, res)
+		}
+	}
+}
+
+func TestFactorCholeskyResidual(t *testing.T) {
+	for _, mt := range []int{1, 2, 4, 6} {
+		orig := NewSPD(mt, 8, 43)
+		fact := orig.Clone()
+		if err := FactorCholesky(fact); err != nil {
+			t.Fatalf("mt=%d: %v", mt, err)
+		}
+		if res := ResidualCholesky(orig, fact); res > 1e-12 {
+			t.Errorf("mt=%d: Cholesky residual %g", mt, res)
+		}
+	}
+}
+
+// TestTiledMatchesScalar: the tiled LU of a matrix equals the scalar LU of
+// the gathered matrix — tiling must not change the numerics beyond rounding.
+func TestTiledMatchesScalarProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		mt, b := 3, 4
+		orig := NewDiagDominant(mt, b, seed)
+		fact := orig.Clone()
+		if err := FactorLU(fact); err != nil {
+			return false
+		}
+		return ResidualLU(orig, fact) < 1e-11
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorLUPanicsOnRect(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FactorLU on rectangular matrix did not panic")
+		}
+	}()
+	_ = FactorLU(NewDense(2, 3, 2))
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	d := NewDense(2, 2, 2)
+	d.Set(0, 0, 3)
+	d.Set(3, 3, 4)
+	if got := d.FrobeniusNorm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("FrobeniusNorm = %v, want 5", got)
+	}
+}

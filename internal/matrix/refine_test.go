@@ -1,0 +1,71 @@
+package matrix
+
+import (
+	"testing"
+)
+
+func TestRefineLUImprovesPerturbedSolution(t *testing.T) {
+	const mt, b, nrhs = 4, 6, 2
+	a := NewDiagDominant(mt, b, 51)
+	xTrue := NewRHS(mt, b, nrhs)
+	xTrue.FillFunc(func(gi, k int) float64 { return ElementAt(52, gi, k) })
+	rhs := a.MulRHS(xTrue)
+	fact := a.Clone()
+	if err := FactorLU(fact); err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the exact solution and refine back.
+	x := xTrue.Clone()
+	x.FillFunc(func(gi, k int) float64 { return xTrue[gi/b].At(gi%b, k) + 1e-4 })
+	iters, res := RefineLU(a, fact, rhs, x, 10, 1e-12)
+	if iters == 0 {
+		t.Fatal("refinement did not iterate on a perturbed solution")
+	}
+	if res > 1e-10 {
+		t.Fatalf("refined residual %g", res)
+	}
+	if diff := x.MaxAbsDiff(xTrue); diff > 1e-10 {
+		t.Fatalf("refined solution error %g", diff)
+	}
+}
+
+func TestRefineLUStopsWhenConverged(t *testing.T) {
+	const mt, b, nrhs = 3, 5, 1
+	a := NewDiagDominant(mt, b, 53)
+	xTrue := NewRHS(mt, b, nrhs)
+	xTrue.FillFunc(func(gi, k int) float64 { return ElementAt(54, gi, k) })
+	rhs := a.MulRHS(xTrue)
+	fact := a.Clone()
+	if err := FactorLU(fact); err != nil {
+		t.Fatal(err)
+	}
+	x := rhs.Clone()
+	SolveLU(fact, x)
+	iters, res := RefineLU(a, fact, rhs, x, 10, 1e-10)
+	if iters > 1 {
+		t.Errorf("converged solution needed %d refinement steps", iters)
+	}
+	if res > 1e-10 {
+		t.Errorf("residual %g after refinement", res)
+	}
+}
+
+func TestRefineCholesky(t *testing.T) {
+	const mt, b, nrhs = 4, 5, 2
+	a := NewSPD(mt, b, 55)
+	xTrue := NewRHS(mt, b, nrhs)
+	xTrue.FillFunc(func(gi, k int) float64 { return ElementAt(56, gi, k) })
+	rhs := a.MulRHS(xTrue)
+	fact := a.Clone()
+	if err := FactorCholesky(fact); err != nil {
+		t.Fatal(err)
+	}
+	x := NewRHS(mt, b, nrhs) // start from zero: needs several iterations
+	iters, res := RefineCholesky(a, fact, rhs, x, 20, 1e-12)
+	if res > 1e-10 {
+		t.Fatalf("residual %g after %d iterations", res, iters)
+	}
+	if diff := x.MaxAbsDiff(xTrue); diff > 1e-10 {
+		t.Fatalf("solution error %g", diff)
+	}
+}

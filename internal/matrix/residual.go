@@ -1,0 +1,89 @@
+package matrix
+
+import (
+	"math"
+
+	"anybc/internal/tile"
+)
+
+// gather assembles the full dense matrix into one big tile (small sizes only;
+// used for verification).
+func (d *Dense) gather() *tile.Tile {
+	out := tile.New(d.Rows(), d.Cols())
+	for gi := 0; gi < d.Rows(); gi++ {
+		for gj := 0; gj < d.Cols(); gj++ {
+			out.Set(gi, gj, d.At(gi, gj))
+		}
+	}
+	return out
+}
+
+// gatherFull assembles the full symmetric matrix (mirroring) into one tile.
+func (s *SymmetricLower) gatherFull() *tile.Tile {
+	m := s.Rows()
+	out := tile.New(m, m)
+	for gi := 0; gi < m; gi++ {
+		for gj := 0; gj < m; gj++ {
+			out.Set(gi, gj, s.At(gi, gj))
+		}
+	}
+	return out
+}
+
+// ResidualLU returns the relative reconstruction error
+// ‖A − L·U‖_F / ‖A‖_F, where fact holds the in-place unpivoted LU factors of
+// orig (unit-lower L below the diagonal, U on and above).
+func ResidualLU(orig, fact *Dense) float64 {
+	m := orig.Rows()
+	a := orig.gather()
+	f := fact.gather()
+	l := tile.New(m, m)
+	u := tile.New(m, m)
+	for i := 0; i < m; i++ {
+		l.Set(i, i, 1)
+		for j := 0; j < i; j++ {
+			l.Set(i, j, f.At(i, j))
+		}
+		for j := i; j < m; j++ {
+			u.Set(i, j, f.At(i, j))
+		}
+	}
+	lu := tile.New(m, m)
+	tile.Gemm(tile.NoTrans, tile.NoTrans, 1, l, u, 0, lu)
+	num := 0.0
+	for i := range lu.Data {
+		diff := a.Data[i] - lu.Data[i]
+		num += diff * diff
+	}
+	den := a.FrobeniusNorm()
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num) / den
+}
+
+// ResidualCholesky returns the relative reconstruction error
+// ‖A − L·Lᵀ‖_F / ‖A‖_F, where fact holds the in-place Cholesky factor of
+// orig in its lower triangle.
+func ResidualCholesky(orig, fact *SymmetricLower) float64 {
+	m := orig.Rows()
+	a := orig.gatherFull()
+	l := tile.New(m, m)
+	for gi := 0; gi < m; gi++ {
+		for gj := 0; gj <= gi; gj++ {
+			l.Set(gi, gj, fact.At(gi, gj))
+		}
+	}
+	llt := tile.New(m, m)
+	tile.Gemm(tile.NoTrans, tile.TransT, 1, l, l, 0, llt)
+	num := 0.0
+	for i := range llt.Data {
+		diff := a.Data[i] - llt.Data[i]
+		num += diff * diff
+	}
+	den := a.FrobeniusNorm()
+	if den == 0 {
+		return math.Sqrt(num)
+	}
+	return math.Sqrt(num) / den
+}

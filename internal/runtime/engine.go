@@ -1,0 +1,341 @@
+// Package runtime implements the task-based distributed execution engine —
+// the role StarPU plays under Chameleon in the paper. The application only
+// supplies a task graph (package dag) and a tile→node map (package dist); the
+// engine then applies the owner-computes rule, tracks dependencies, infers
+// all inter-node communications, and executes the real numeric kernels on
+// every virtual node concurrently.
+//
+// Each node runs an event loop: local task completions release local
+// successors; completions whose output some remote node consumes push that
+// tile to each distinct consumer node as one point-to-point message; tile
+// arrivals release the tasks waiting on them. Mailboxes are unbounded and the
+// graph is acyclic, so execution is deadlock-free.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"anybc/internal/cluster"
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+	"anybc/internal/tile"
+)
+
+// Kernel applies one task: out is the task's output tile (updated in place),
+// inputs are the tiles listed by Graph.InputTiles in visit order.
+type Kernel func(t dag.Task, out *tile.Tile, inputs []*tile.Tile) error
+
+// Options tunes the engine.
+type Options struct {
+	// Workers is the number of concurrent kernel executors per node
+	// (default 1). Values above 1 model multi-core nodes; correctness is
+	// guaranteed by the task graph for any value.
+	Workers int
+}
+
+// Report summarizes one distributed execution.
+type Report struct {
+	// Stats holds the communication counters of the virtual network.
+	Stats cluster.Stats
+	// TasksPerNode counts the kernels each node executed.
+	TasksPerNode []int
+	// FlopsPerNode sums the flops each node executed.
+	FlopsPerNode []float64
+	// OwnedTilesPerNode and ReceivedTilesPerNode describe each node's memory
+	// footprint: tiles it owns under the distribution, and remote tiles it
+	// had to hold to execute its tasks. Their sum bounds the node's working
+	// set (this runtime keeps received tiles for the whole run).
+	OwnedTilesPerNode    []int
+	ReceivedTilesPerNode []int
+	// Elapsed is the wall-clock duration of the distributed run.
+	Elapsed time.Duration
+}
+
+// Run executes graph g on a fresh virtual cluster with the given tile
+// distribution, initial tile generator and kernel. It returns the final tile
+// contents via collect: after all nodes finish, collect is called once for
+// every tile with its final payload.
+func Run(g dag.Graph, d dist.Distribution, b int,
+	gen func(i, j int) *tile.Tile, kern Kernel, opt Options,
+	collect func(i, j int, t *tile.Tile)) (*Report, error) {
+
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	P := d.Nodes()
+	cl := cluster.New(P)
+
+	engines := make([]*engine, P)
+	for rank := 0; rank < P; rank++ {
+		engines[rank] = newEngine(rank, cl.Comm(rank), g, d, b, gen, kern, opt.Workers)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, P)
+	for rank := 0; rank < P; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = engines[rank].run()
+		}(rank)
+	}
+	wg.Wait()
+	cl.Close()
+	elapsed := time.Since(start)
+
+	for rank, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runtime: node %d: %w", rank, err)
+		}
+	}
+
+	rep := &Report{
+		Stats:                cl.Stats(),
+		TasksPerNode:         make([]int, P),
+		FlopsPerNode:         make([]float64, P),
+		OwnedTilesPerNode:    make([]int, P),
+		ReceivedTilesPerNode: make([]int, P),
+		Elapsed:              elapsed,
+	}
+	for rank, e := range engines {
+		rep.TasksPerNode[rank] = len(e.owned)
+		rep.FlopsPerNode[rank] = e.flops
+		rep.OwnedTilesPerNode[rank] = e.ownedTiles
+		rep.ReceivedTilesPerNode[rank] = len(e.tiles) - e.ownedTiles
+	}
+
+	if collect != nil {
+		seen := map[cluster.Tag]bool{}
+		dag.ForEachTask(g, func(t dag.Task) {
+			i, j := g.OutputTile(t)
+			tag := cluster.Tag{I: int32(i), J: int32(j)}
+			if seen[tag] {
+				return
+			}
+			seen[tag] = true
+			owner := d.Owner(i, j)
+			collect(i, j, engines[owner].tiles[tag])
+		})
+	}
+	return rep, nil
+}
+
+type event struct {
+	// Exactly one of the two is meaningful.
+	completed int // local task index, or -1
+	msg       cluster.Message
+}
+
+type engine struct {
+	rank    int
+	comm    *cluster.Comm
+	g       dag.Graph
+	owner   func(i, j int) int
+	b       int
+	kern    Kernel
+	workers int
+
+	owned     []dag.Task
+	localIdx  map[int]int // graph task id -> index in owned
+	remaining []int32
+	waiters   map[cluster.Tag][]int
+	tiles     map[cluster.Tag]*tile.Tile
+
+	flops      float64
+	ownedTiles int
+}
+
+func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
+	b int, gen func(i, j int) *tile.Tile, kern Kernel, workers int) *engine {
+
+	e := &engine{
+		rank:     rank,
+		comm:     comm,
+		g:        g,
+		owner:    d.Owner,
+		b:        b,
+		kern:     kern,
+		workers:  workers,
+		localIdx: make(map[int]int),
+		waiters:  make(map[cluster.Tag][]int),
+		tiles:    make(map[cluster.Tag]*tile.Tile),
+	}
+	// Discover owned tasks and materialize owned tiles.
+	dag.ForEachTask(g, func(t dag.Task) {
+		oi, oj := g.OutputTile(t)
+		if d.Owner(oi, oj) != rank {
+			return
+		}
+		idx := len(e.owned)
+		e.owned = append(e.owned, t)
+		e.localIdx[g.ID(t)] = idx
+		tag := cluster.Tag{I: int32(oi), J: int32(oj)}
+		if _, ok := e.tiles[tag]; !ok {
+			e.tiles[tag] = gen(oi, oj)
+			e.ownedTiles++
+		}
+	})
+	// Dependency bookkeeping: local deps resolve through successor visits,
+	// remote deps through tile arrivals.
+	e.remaining = make([]int32, len(e.owned))
+	for idx, t := range e.owned {
+		e.remaining[idx] = int32(e.g.NumDependencies(t))
+		e.g.Dependencies(t, func(dep dag.Task) {
+			di, dj := e.g.OutputTile(dep)
+			if d.Owner(di, dj) != rank {
+				tag := cluster.Tag{I: int32(di), J: int32(dj)}
+				e.waiters[tag] = append(e.waiters[tag], idx)
+			}
+		})
+	}
+	return e
+}
+
+// run executes this node's share of the graph and returns when every owned
+// task has completed.
+func (e *engine) run() error {
+	total := len(e.owned)
+	if total == 0 {
+		return nil
+	}
+
+	events := make(chan event, e.workers+4)
+	// Receiver: forwards network messages into the event loop.
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for {
+			msg, ok := e.comm.Recv()
+			if !ok {
+				return
+			}
+			events <- event{completed: -1, msg: msg}
+		}
+	}()
+
+	type job struct {
+		idx    int
+		out    *tile.Tile
+		inputs []*tile.Tile
+	}
+	work := make(chan job, e.workers)
+	var kernErr error
+	var kernErrOnce sync.Once
+	var workerWG sync.WaitGroup
+	for w := 0; w < e.workers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			for jb := range work {
+				if err := e.kern(e.owned[jb.idx], jb.out, jb.inputs); err != nil {
+					kernErrOnce.Do(func() { kernErr = err })
+				}
+				events <- event{completed: jb.idx}
+			}
+		}()
+	}
+
+	var ready []int
+	for idx := range e.owned {
+		if e.remaining[idx] == 0 {
+			ready = append(ready, idx)
+		}
+	}
+
+	dispatch := func(idx int) {
+		t := e.owned[idx]
+		oi, oj := e.g.OutputTile(t)
+		out := e.tiles[cluster.Tag{I: int32(oi), J: int32(oj)}]
+		var inputs []*tile.Tile
+		e.g.InputTiles(t, func(i, j int) {
+			tag := cluster.Tag{I: int32(i), J: int32(j)}
+			in, ok := e.tiles[tag]
+			if !ok {
+				panic(fmt.Sprintf("runtime: node %d: input tile (%d,%d) of %v missing", e.rank, i, j, t))
+			}
+			inputs = append(inputs, in)
+		})
+		work <- job{idx: idx, out: out, inputs: inputs}
+	}
+
+	done, inflight := 0, 0
+	for done < total {
+		for len(ready) > 0 && inflight < e.workers {
+			idx := ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
+			dispatch(idx)
+			inflight++
+		}
+		ev := <-events
+		if ev.completed >= 0 {
+			inflight--
+			done++
+			ready = e.onComplete(ev.completed, ready)
+		} else {
+			ready = e.onArrival(ev.msg, ready)
+		}
+	}
+	close(work)
+	workerWG.Wait()
+	// Absorb any late messages until the cluster is closed, so remote senders
+	// and our receiver goroutine can always make progress.
+	go func() {
+		for range events {
+		}
+	}()
+	go func() {
+		<-recvDone
+		close(events)
+	}()
+	return kernErr
+}
+
+// onComplete publishes a finished task: releases local successors and sends
+// the output tile once to every distinct remote consumer node.
+func (e *engine) onComplete(idx int, ready []int) []int {
+	t := e.owned[idx]
+	e.flops += e.g.Flops(t, e.b)
+	oi, oj := e.g.OutputTile(t)
+	tag := cluster.Tag{I: int32(oi), J: int32(oj)}
+	out := e.tiles[tag]
+
+	sent := map[int]bool{}
+	e.g.Successors(t, func(s dag.Task) {
+		si, sj := e.g.OutputTile(s)
+		dst := e.owner(si, sj)
+		if dst == e.rank {
+			li := e.localIdx[e.g.ID(s)]
+			e.remaining[li]--
+			if e.remaining[li] == 0 {
+				ready = append(ready, li)
+			}
+			return
+		}
+		if !sent[dst] {
+			sent[dst] = true
+			e.comm.Send(dst, tag, out)
+		}
+	})
+	return ready
+}
+
+// onArrival stores a received tile and releases the tasks waiting on it.
+func (e *engine) onArrival(msg cluster.Message, ready []int) []int {
+	if _, dup := e.tiles[msg.Tag]; dup {
+		// A tile version is sent at most once per destination; receiving a
+		// duplicate indicates a protocol bug.
+		panic(fmt.Sprintf("runtime: node %d: duplicate tile %v", e.rank, msg.Tag))
+	}
+	e.tiles[msg.Tag] = msg.Payload
+	for _, idx := range e.waiters[msg.Tag] {
+		e.remaining[idx]--
+		if e.remaining[idx] == 0 {
+			ready = append(ready, idx)
+		}
+	}
+	delete(e.waiters, msg.Tag)
+	return ready
+}

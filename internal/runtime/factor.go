@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"fmt"
+
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+	"anybc/internal/matrix"
+	"anybc/internal/tile"
+)
+
+// LUKernel applies one LU task with the real numeric kernels.
+func LUKernel(t dag.Task, out *tile.Tile, inputs []*tile.Tile) error {
+	switch t.Kind {
+	case dag.GETRF:
+		return tile.Getrf(out)
+	case dag.TRSMCol:
+		tile.Trsm(tile.Right, tile.Upper, tile.NoTrans, tile.NonUnit, 1, inputs[0], out)
+	case dag.TRSMRow:
+		tile.Trsm(tile.Left, tile.Lower, tile.NoTrans, tile.Unit, 1, inputs[0], out)
+	case dag.GEMMLU:
+		tile.Gemm(tile.NoTrans, tile.NoTrans, -1, inputs[0], inputs[1], 1, out)
+	default:
+		return fmt.Errorf("runtime: %v is not an LU task", t)
+	}
+	return nil
+}
+
+// CholeskyKernel applies one Cholesky task with the real numeric kernels.
+func CholeskyKernel(t dag.Task, out *tile.Tile, inputs []*tile.Tile) error {
+	switch t.Kind {
+	case dag.POTRF:
+		return tile.Potrf(out)
+	case dag.TRSMChol:
+		tile.Trsm(tile.Right, tile.Lower, tile.TransT, tile.NonUnit, 1, inputs[0], out)
+	case dag.SYRK:
+		tile.Syrk(tile.Lower, tile.NoTrans, -1, inputs[0], 1, out)
+	case dag.GEMMChol:
+		tile.Gemm(tile.NoTrans, tile.TransT, -1, inputs[0], inputs[1], 1, out)
+	default:
+		return fmt.Errorf("runtime: %v is not a Cholesky task", t)
+	}
+	return nil
+}
+
+// GenDense adapts a global element generator to a tile generator.
+func GenDense(b int, at func(gi, gj int) float64) func(i, j int) *tile.Tile {
+	return func(ti, tj int) *tile.Tile {
+		t := tile.New(b, b)
+		for i := 0; i < b; i++ {
+			for j := 0; j < b; j++ {
+				t.Set(i, j, at(ti*b+i, tj*b+j))
+			}
+		}
+		return t
+	}
+}
+
+// GenDiagDominant returns a tile generator for the diagonally dominant LU
+// test matrix of matrix.NewDiagDominant.
+func GenDiagDominant(mt, b int, seed int64) func(i, j int) *tile.Tile {
+	m := mt * b
+	return GenDense(b, func(gi, gj int) float64 { return matrix.DiagDominantAt(seed, m, gi, gj) })
+}
+
+// GenSPD returns a tile generator for the SPD Cholesky test matrix of
+// matrix.NewSPD (lower-triangle tiles; diagonal tiles are mirrored).
+func GenSPD(mt, b int, seed int64) func(i, j int) *tile.Tile {
+	m := mt * b
+	return GenDense(b, func(gi, gj int) float64 { return matrix.SPDAt(seed, m, gi, gj) })
+}
+
+// FactorLU runs the distributed tiled unpivoted LU factorization of the
+// matrix defined by gen on a fresh virtual cluster with distribution d.
+// It returns the factored matrix (gathered from all nodes) and the execution
+// report.
+func FactorLU(mt, b int, d dist.Distribution, gen func(i, j int) *tile.Tile, opt Options) (*matrix.Dense, *Report, error) {
+	g := dag.NewLU(mt)
+	out := matrix.NewDense(mt, mt, b)
+	rep, err := Run(g, d, b, gen, LUKernel, opt, func(i, j int, t *tile.Tile) {
+		out.SetTile(i, j, t.Clone())
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}
+
+// FactorCholesky runs the distributed tiled Cholesky factorization of the
+// lower-stored SPD matrix defined by gen.
+func FactorCholesky(mt, b int, d dist.Distribution, gen func(i, j int) *tile.Tile, opt Options) (*matrix.SymmetricLower, *Report, error) {
+	return factorCholeskyGraph(dag.NewCholesky(mt), mt, b, d, gen, opt)
+}
+
+// FactorCholeskyLeft runs the left-looking Cholesky variant distributedly;
+// results are bitwise identical to FactorCholesky, only the schedule (and
+// hence the communication timing) differs.
+func FactorCholeskyLeft(mt, b int, d dist.Distribution, gen func(i, j int) *tile.Tile, opt Options) (*matrix.SymmetricLower, *Report, error) {
+	return factorCholeskyGraph(dag.NewCholeskyLeft(mt), mt, b, d, gen, opt)
+}
+
+func factorCholeskyGraph(g dag.Graph, mt, b int, d dist.Distribution, gen func(i, j int) *tile.Tile, opt Options) (*matrix.SymmetricLower, *Report, error) {
+	out := matrix.NewSymmetricLower(mt, b)
+	rep, err := Run(g, d, b, gen, CholeskyKernel, opt, func(i, j int, t *tile.Tile) {
+		out.Tile(i, j).CopyFrom(t)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,84 @@
+package runtime
+
+import (
+	"testing"
+
+	"anybc/internal/cluster"
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+	"anybc/internal/tile"
+)
+
+// TestDuplicateArrivalPanics exercises the protocol guard: a node receiving
+// the same tile version twice indicates a runtime bug and must panic loudly
+// rather than silently corrupt dependency counts.
+func TestDuplicateArrivalPanics(t *testing.T) {
+	g := dag.NewLU(4)
+	d := dist.NewTwoDBC(2, 2)
+	cl := cluster.New(4)
+	defer cl.Close()
+	gen := GenDiagDominant(4, 3, 1)
+	e := newEngine(1, cl.Comm(1), g, d, 3, gen, LUKernel, 1)
+
+	msg := cluster.Message{From: 0, To: 1, Tag: cluster.Tag{I: 0, J: 0}, Payload: tile.New(3, 3)}
+	e.onArrival(msg, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate arrival did not panic")
+		}
+	}()
+	e.onArrival(msg, nil)
+}
+
+// TestEngineOwnedDiscovery checks that engines partition the task set
+// exactly: every task owned by exactly one engine, and owned tiles
+// materialized.
+func TestEngineOwnedDiscovery(t *testing.T) {
+	g := dag.NewCholesky(6)
+	d := dist.NewSBCPair(4)
+	cl := cluster.New(d.Nodes())
+	defer cl.Close()
+	gen := GenSPD(6, 4, 2)
+	total := 0
+	for rank := 0; rank < d.Nodes(); rank++ {
+		e := newEngine(rank, cl.Comm(rank), g, d, 4, gen, CholeskyKernel, 1)
+		total += len(e.owned)
+		for _, task := range e.owned {
+			oi, oj := g.OutputTile(task)
+			if d.Owner(oi, oj) != rank {
+				t.Fatalf("engine %d owns task %v with owner %d", rank, task, d.Owner(oi, oj))
+			}
+			tag := cluster.Tag{I: int32(oi), J: int32(oj)}
+			if e.tiles[tag] == nil {
+				t.Fatalf("engine %d did not materialize tile %v", rank, tag)
+			}
+		}
+		// Remaining counts must equal NumDependencies.
+		for idx, task := range e.owned {
+			if int(e.remaining[idx]) != g.NumDependencies(task) {
+				t.Fatalf("engine %d task %v remaining %d != deps %d",
+					rank, task, e.remaining[idx], g.NumDependencies(task))
+			}
+		}
+	}
+	if total != g.NumTasks() {
+		t.Fatalf("engines own %d tasks, graph has %d", total, g.NumTasks())
+	}
+}
+
+// TestEmptyEngineRuns: a node owning nothing must terminate immediately.
+func TestEmptyEngineRuns(t *testing.T) {
+	g := dag.NewLU(2)
+	// Distribution mapping everything to node 0 of 3.
+	d := dist.NewTwoDBC(1, 1)
+	cl := cluster.New(3)
+	defer cl.Close()
+	gen := GenDiagDominant(2, 3, 1)
+	e := newEngine(2, cl.Comm(2), g, d, 3, gen, LUKernel, 1)
+	if err := e.run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.owned) != 0 {
+		t.Fatal("node 2 owns tasks under a single-node distribution")
+	}
+}

@@ -1,0 +1,59 @@
+package simulate
+
+import (
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+)
+
+// Analytic is a closed-form performance estimate used to cross-check the
+// discrete-event simulator and to extrapolate to matrix sizes too large to
+// simulate task by task. The makespan estimate is the maximum of three
+// lower bounds, assuming perfect comm/compute overlap:
+//
+//   - compute: TotalFlops / (P · Workers · FlopsPerWorker)
+//   - dependency: CriticalPathFlops / FlopsPerWorker
+//   - communication: the busiest node's NIC occupancy, estimated from the
+//     exact owner-computes tile-transfer count (dag.CommVolumeTiles) spread
+//     over P full-duplex NICs.
+type Analytic struct {
+	ComputeTime  float64
+	CriticalPath float64
+	CommTime     float64
+	Messages     int64
+}
+
+// Estimate returns the analytic model for graph g, tile size b, distribution
+// d and machine m.
+func Estimate(g dag.Graph, b int, d dist.Distribution, m Machine) Analytic {
+	P := float64(d.Nodes())
+	msgs := dag.CommVolumeTiles(g, d.Owner)
+	bytes := float64(msgs) * 8 * float64(b) * float64(b)
+	return Analytic{
+		ComputeTime:  g.TotalFlops(b) / (P * m.NodeFlops()),
+		CriticalPath: dag.CriticalPathFlops(g, b) / m.FlopsPerWorker,
+		CommTime:     bytes/(P*m.LinkBandwidth) + float64(msgs)/P*m.Latency,
+		Messages:     msgs,
+	}
+}
+
+// Makespan returns the estimated makespan: the max of the three bounds.
+func (a Analytic) Makespan() float64 {
+	t := a.ComputeTime
+	if a.CriticalPath > t {
+		t = a.CriticalPath
+	}
+	if a.CommTime > t {
+		t = a.CommTime
+	}
+	return t
+}
+
+// GFlops converts the estimate to aggregate GFlop/s for a graph with the
+// given total flops.
+func (a Analytic) GFlops(totalFlops float64) float64 {
+	mk := a.Makespan()
+	if mk <= 0 {
+		return 0
+	}
+	return totalFlops / mk / 1e9
+}

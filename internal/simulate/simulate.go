@@ -1,0 +1,248 @@
+package simulate
+
+import (
+	"fmt"
+
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+	"anybc/internal/trace"
+)
+
+// Scheduler selects which ready task a free worker picks next.
+type Scheduler int
+
+// Scheduling policies for the per-node ready queues.
+const (
+	// IterationOrder prioritizes lower iterations and panel kernels before
+	// updates — the lookahead-friendly policy dynamic runtimes converge to.
+	IterationOrder Scheduler = iota
+	// FIFOOrder executes ready tasks in release order.
+	FIFOOrder
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// TileBytes overrides the message size; 0 means 8·b² bytes.
+	TileBytes int
+	// Scheduler selects the ready-queue policy (default IterationOrder).
+	Scheduler Scheduler
+	// Recorder, when non-nil, receives every kernel interval and message of
+	// the run for Gantt/utilization analysis (package trace).
+	Recorder *trace.Recorder
+	// NodeSpeed optionally gives per-node speed multipliers (length P, all
+	// positive), modeling heterogeneous nodes: node n executes kernels at
+	// NodeSpeed[n] × FlopsPerWorker per worker. Nil means homogeneous.
+	NodeSpeed []float64
+}
+
+// Run simulates the execution of graph g with tile size b under distribution
+// d on machine m and returns the timing result. The simulation applies the
+// owner-computes rule, models one message per (tile, remote consumer node)
+// exactly like the real runtime, serializes each node's outgoing and incoming
+// NIC, and overlaps communication with computation.
+func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	P := d.Nodes()
+	n := g.NumTasks()
+	tileBytes := opt.TileBytes
+	if tileBytes == 0 {
+		tileBytes = 8 * b * b
+	}
+	// Per-task message sizes: graphs with heterogeneous tile sizes (the
+	// factor-and-solve graphs) report them through SizedGraph unless an
+	// explicit uniform override is set.
+	sizeOf := func(t dag.Task) int { return tileBytes }
+	if sized, ok := g.(dag.SizedGraph); ok && opt.TileBytes == 0 {
+		sizeOf = func(t dag.Task) int { return sized.OutputBytes(t, b) }
+	}
+	speed := func(node int) float64 { return 1 }
+	if opt.NodeSpeed != nil {
+		if len(opt.NodeSpeed) != P {
+			return nil, fmt.Errorf("simulate: %d node speeds for %d nodes", len(opt.NodeSpeed), P)
+		}
+		for n, v := range opt.NodeSpeed {
+			if v <= 0 {
+				return nil, fmt.Errorf("simulate: node %d speed %g", n, v)
+			}
+		}
+		speed = func(node int) float64 { return opt.NodeSpeed[node] }
+	}
+
+	// Owner of every task, by task id.
+	ownerOf := make([]int32, n)
+	remaining := make([]int8, n)
+	dag.ForEachTask(g, func(t dag.Task) {
+		id := g.ID(t)
+		oi, oj := g.OutputTile(t)
+		ownerOf[id] = int32(d.Owner(oi, oj))
+		remaining[id] = int8(g.NumDependencies(t))
+	})
+
+	// Per-node state.
+	ready := make([]taskHeap, P)
+	freeWorkers := make([]int, P)
+	nicOut := make([]float64, P)
+	nicIn := make([]float64, P)
+	fabricFree := 0.0 // shared-fabric serialization point (bisection cap)
+	busy := make([]float64, P)
+	tasksRun := make([]int, P)
+	for i := range freeWorkers {
+		freeWorkers[i] = m.Workers
+	}
+	// Worker-slot bookkeeping for Gantt traces (only when recording).
+	var slotFree [][]float64
+	if opt.Recorder != nil {
+		slotFree = make([][]float64, P)
+		for i := range slotFree {
+			slotFree[i] = make([]float64, m.Workers)
+		}
+	}
+
+	prio := func(t dag.Task) int64 {
+		if opt.Scheduler == FIFOOrder {
+			return 0
+		}
+		var kindOrder int64
+		switch t.Kind {
+		case dag.GETRF, dag.POTRF:
+			kindOrder = 0
+		case dag.TRSMCol, dag.TRSMRow, dag.TRSMChol:
+			kindOrder = 1
+		case dag.SYRK:
+			kindOrder = 2
+		default:
+			kindOrder = 3
+		}
+		return int64(t.L)*4 + kindOrder
+	}
+
+	var events eventHeap
+	var result Result
+	result.BusyTime = busy
+	result.TasksPerNode = tasksRun
+	result.TotalFlops = g.TotalFlops(b)
+	result.SentBytes = make([]int64, P)
+	result.RecvBytes = make([]int64, P)
+
+	dispatch := func(node int, now float64) {
+		for freeWorkers[node] > 0 && !ready[node].empty() {
+			id := ready[node].pop()
+			freeWorkers[node]--
+			t := g.TaskOf(int(id))
+			dur := g.Flops(t, b) / (m.FlopsPerWorker * speed(node))
+			busy[node] += dur
+			tasksRun[node]++
+			if opt.Recorder != nil {
+				slot := 0
+				for s, free := range slotFree[node] {
+					if free <= now+1e-15 {
+						slot = s
+						break
+					}
+				}
+				slotFree[node][slot] = now + dur
+				opt.Recorder.RecordTask(node, slot, t, now, now+dur)
+			}
+			events.push(event{time: now + dur, kind: evTaskDone, node: int32(node), task: id})
+		}
+	}
+
+	release := func(id int, now float64) {
+		node := int(ownerOf[id])
+		ready[node].push(prio(g.TaskOf(id)), int32(id))
+		dispatch(node, now)
+	}
+
+	// Seed: tasks with no dependencies.
+	for id := 0; id < n; id++ {
+		if remaining[id] == 0 {
+			release(id, 0)
+		}
+	}
+
+	done := 0
+	var sentTo []int32 // scratch: distinct remote consumers of one completion
+	for !events.empty() {
+		ev := events.pop()
+		now := ev.time
+		switch ev.kind {
+		case evTaskDone:
+			done++
+			node := int(ev.node)
+			freeWorkers[node]++
+			t := g.TaskOf(int(ev.task))
+			src := ownerOf[ev.task]
+			sentTo = sentTo[:0]
+			g.Successors(t, func(s dag.Task) {
+				sid := g.ID(s)
+				dst := ownerOf[sid]
+				if dst == src {
+					remaining[sid]--
+					if remaining[sid] == 0 {
+						release(sid, now)
+					}
+					return
+				}
+				for _, d := range sentTo {
+					if d == dst {
+						return
+					}
+				}
+				sentTo = append(sentTo, dst)
+				// Sender NIC serialization, then latency, then receiver NIC.
+				msgBytes := sizeOf(t)
+				transferTime := float64(msgBytes) / m.LinkBandwidth
+				sendEnd := max64(now, nicOut[src]) + transferTime
+				nicOut[src] = sendEnd
+				if m.BisectionBandwidth > 0 {
+					// The message also crosses the shared fabric.
+					fabricEnd := max64(sendEnd, fabricFree) + float64(msgBytes)/m.BisectionBandwidth
+					fabricFree = fabricEnd
+					sendEnd = fabricEnd
+				}
+				recvEnd := max64(sendEnd+m.Latency, nicIn[dst]) + transferTime
+				nicIn[dst] = recvEnd
+				result.Messages++
+				result.Bytes += int64(msgBytes)
+				result.SentBytes[src] += int64(msgBytes)
+				result.RecvBytes[dst] += int64(msgBytes)
+				if opt.Recorder != nil {
+					opt.Recorder.RecordMessage(int(src), int(dst), sendEnd-transferTime, recvEnd, msgBytes)
+				}
+				events.push(event{time: recvEnd, kind: evArrival, node: dst, task: ev.task})
+			})
+			dispatch(node, now)
+		case evArrival:
+			// The arrival delivers the output tile of producer ev.task to
+			// node ev.node: every successor of the producer owned by that
+			// node had this tile as its one remote dependency from ev.task.
+			producer := g.TaskOf(int(ev.task))
+			g.Successors(producer, func(s dag.Task) {
+				sid := g.ID(s)
+				if ownerOf[sid] != ev.node {
+					return
+				}
+				remaining[sid]--
+				if remaining[sid] == 0 {
+					release(sid, now)
+				}
+			})
+		}
+		if now > result.Makespan {
+			result.Makespan = now
+		}
+	}
+	if done != n {
+		return nil, fmt.Errorf("simulate: executed %d of %d tasks — dependency deadlock", done, n)
+	}
+	return &result, nil
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+package tile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel microbenchmarks at the paper's tile size (500) and a smaller one,
+// used to sanity-check the machine model's per-core GFlop/s assumption
+// against what this pure-Go implementation actually sustains.
+
+func benchTiles(b *testing.B, n int) (*Tile, *Tile, *Tile) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	x, y, z := New(n, n), New(n, n), New(n, n)
+	x.Random(rng)
+	y.Random(rng)
+	z.Random(rng)
+	return x, y, z
+}
+
+func benchGemm(b *testing.B, n int) {
+	x, y, z := benchTiles(b, n)
+	b.SetBytes(int64(24 * n * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(NoTrans, NoTrans, -1, x, y, 1, z)
+	}
+	b.ReportMetric(FlopsGemm(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkKernelGemm128(b *testing.B) { benchGemm(b, 128) }
+func BenchmarkKernelGemm500(b *testing.B) { benchGemm(b, 500) }
+
+func BenchmarkKernelGemmTransB500(b *testing.B) {
+	x, y, z := benchTiles(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gemm(NoTrans, TransT, -1, x, y, 1, z)
+	}
+	b.ReportMetric(FlopsGemm(500)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkKernelSyrk500(b *testing.B) {
+	x, _, z := benchTiles(b, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Syrk(Lower, NoTrans, -1, x, 1, z)
+	}
+	b.ReportMetric(FlopsSyrk(500)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkKernelTrsm500(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := New(500, 500)
+	a.Random(rng)
+	for i := 0; i < 500; i++ {
+		a.Set(i, i, 3)
+	}
+	x := New(500, 500)
+	x.Random(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Trsm(Left, Lower, NoTrans, NonUnit, 1, a, x)
+	}
+	b.ReportMetric(FlopsTrsm(500)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkKernelPotrf500(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	src := New(500, 500)
+	for i := 0; i < 500; i++ {
+		for j := 0; j <= i; j++ {
+			v := 2*rng.Float64() - 1
+			src.Set(i, j, v)
+			src.Set(j, i, v)
+		}
+		src.Set(i, i, 600)
+	}
+	work := New(500, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work.CopyFrom(src)
+		if err := Potrf(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(FlopsPotrf(500)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
+func BenchmarkKernelGetrf500(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	src := New(500, 500)
+	src.Random(rng)
+	for i := 0; i < 500; i++ {
+		src.Set(i, i, 600)
+	}
+	work := New(500, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work.CopyFrom(src)
+		if err := Getrf(work); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(FlopsGetrf(500)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}

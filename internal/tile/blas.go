@@ -1,0 +1,273 @@
+package tile
+
+import "fmt"
+
+// Trans selects whether an operand is used as-is or transposed.
+type Trans int
+
+// Side selects whether the triangular operand multiplies from the left or
+// the right in Trsm.
+type Side int
+
+// Uplo selects the stored/used triangle of a triangular or symmetric matrix.
+type Uplo int
+
+// Diag declares whether a triangular matrix has an implicit unit diagonal.
+type Diag int
+
+// Enumeration values follow BLAS conventions.
+const (
+	NoTrans Trans = iota
+	TransT
+
+	Left Side = iota
+	Right
+
+	Lower Uplo = iota
+	Upper
+
+	NonUnit Diag = iota
+	Unit
+)
+
+func opDims(t Trans, a *Tile) (rows, cols int) {
+	if t == NoTrans {
+		return a.Rows, a.Cols
+	}
+	return a.Cols, a.Rows
+}
+
+// Gemm computes C = alpha·op(A)·op(B) + beta·C, the general tile update
+// kernel (the dominant task of both factorizations).
+func Gemm(transA, transB Trans, alpha float64, a, b *Tile, beta float64, c *Tile) {
+	m, k := opDims(transA, a)
+	k2, n := opDims(transB, b)
+	if k != k2 || c.Rows != m || c.Cols != n {
+		panic(fmt.Sprintf("tile: Gemm shape mismatch: op(A)=%dx%d op(B)=%dx%d C=%dx%d",
+			m, k, k2, n, c.Rows, c.Cols))
+	}
+	if beta != 1 {
+		for i := range c.Data {
+			c.Data[i] *= beta
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+	switch {
+	case transA == NoTrans && transB == NoTrans:
+		// i-k-j order with row slices: streams B and C rows.
+		for i := 0; i < m; i++ {
+			ci := c.Row(i)
+			ai := a.Row(i)
+			for l := 0; l < k; l++ {
+				s := alpha * ai[l]
+				if s == 0 {
+					continue
+				}
+				bl := b.Row(l)
+				for j := 0; j < n; j++ {
+					ci[j] += s * bl[j]
+				}
+			}
+		}
+	case transA == NoTrans && transB == TransT:
+		// C[i][j] += alpha * dot(A row i, B row j).
+		for i := 0; i < m; i++ {
+			ci := c.Row(i)
+			ai := a.Row(i)
+			for j := 0; j < n; j++ {
+				bj := b.Row(j)
+				s := 0.0
+				for l := 0; l < k; l++ {
+					s += ai[l] * bj[l]
+				}
+				ci[j] += alpha * s
+			}
+		}
+	case transA == TransT && transB == NoTrans:
+		for l := 0; l < k; l++ {
+			al := a.Row(l)
+			bl := b.Row(l)
+			for i := 0; i < m; i++ {
+				s := alpha * al[i]
+				if s == 0 {
+					continue
+				}
+				ci := c.Row(i)
+				for j := 0; j < n; j++ {
+					ci[j] += s * bl[j]
+				}
+			}
+		}
+	default: // TransT, TransT
+		for i := 0; i < m; i++ {
+			ci := c.Row(i)
+			for j := 0; j < n; j++ {
+				bj := b.Row(j)
+				s := 0.0
+				for l := 0; l < k; l++ {
+					s += a.At(l, i) * bj[l]
+				}
+				ci[j] += alpha * s
+			}
+		}
+	}
+}
+
+// Syrk computes the symmetric rank-k update C = alpha·op(A)·op(A)ᵀ + beta·C,
+// writing only the uplo triangle of C (including the diagonal). With
+// trans == NoTrans, op(A) = A; with TransT, op(A) = Aᵀ.
+func Syrk(uplo Uplo, trans Trans, alpha float64, a *Tile, beta float64, c *Tile) {
+	n, k := opDims(trans, a)
+	if c.Rows != n || c.Cols != n {
+		panic(fmt.Sprintf("tile: Syrk shape mismatch: op(A)=%dx%d C=%dx%d", n, k, c.Rows, c.Cols))
+	}
+	row := func(i int) func(l int) float64 {
+		if trans == NoTrans {
+			r := a.Row(i)
+			return func(l int) float64 { return r[l] }
+		}
+		return func(l int) float64 { return a.At(l, i) }
+	}
+	for i := 0; i < n; i++ {
+		var jLo, jHi int
+		if uplo == Lower {
+			jLo, jHi = 0, i
+		} else {
+			jLo, jHi = i, n-1
+		}
+		ri := row(i)
+		for j := jLo; j <= jHi; j++ {
+			rj := row(j)
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += ri(l) * rj(l)
+			}
+			c.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+}
+
+// Trsm solves a triangular system in place:
+//
+//	side == Left:  op(A) · X = alpha·B,  X overwrites B
+//	side == Right: X · op(A) = alpha·B,  X overwrites B
+//
+// where A is triangular per uplo/diag. This is the panel-solve kernel: LU
+// uses (Left, Lower, NoTrans, Unit) for row panels and (Right, Upper,
+// NoTrans, NonUnit) for column panels; Cholesky uses (Right, Lower, TransT,
+// NonUnit).
+func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Tile) {
+	if a.Rows != a.Cols {
+		panic("tile: Trsm needs a square triangular tile")
+	}
+	n := a.Rows
+	if (side == Left && b.Rows != n) || (side == Right && b.Cols != n) {
+		panic(fmt.Sprintf("tile: Trsm shape mismatch: A=%dx%d B=%dx%d side=%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, side))
+	}
+	if alpha != 1 {
+		for i := range b.Data {
+			b.Data[i] *= alpha
+		}
+	}
+	// Effective orientation: transposing a triangular matrix flips its uplo
+	// and reflects its indices.
+	at := func(i, j int) float64 {
+		if trans == NoTrans {
+			return a.At(i, j)
+		}
+		return a.At(j, i)
+	}
+	effUplo := uplo
+	if trans == TransT {
+		if uplo == Lower {
+			effUplo = Upper
+		} else {
+			effUplo = Lower
+		}
+	}
+
+	switch {
+	case side == Left && effUplo == Lower:
+		// Forward substitution on each column of B, row-sliced.
+		for i := 0; i < n; i++ {
+			bi := b.Row(i)
+			for k := 0; k < i; k++ {
+				f := at(i, k)
+				if f == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j := range bi {
+					bi[j] -= f * bk[j]
+				}
+			}
+			if diag == NonUnit {
+				d := at(i, i)
+				for j := range bi {
+					bi[j] /= d
+				}
+			}
+		}
+	case side == Left && effUplo == Upper:
+		for i := n - 1; i >= 0; i-- {
+			bi := b.Row(i)
+			for k := i + 1; k < n; k++ {
+				f := at(i, k)
+				if f == 0 {
+					continue
+				}
+				bk := b.Row(k)
+				for j := range bi {
+					bi[j] -= f * bk[j]
+				}
+			}
+			if diag == NonUnit {
+				d := at(i, i)
+				for j := range bi {
+					bi[j] /= d
+				}
+			}
+		}
+	case side == Right && effUplo == Lower:
+		// X·A = B with A lower: solve columns right to left.
+		for j := n - 1; j >= 0; j-- {
+			if diag == NonUnit {
+				d := at(j, j)
+				for i := 0; i < b.Rows; i++ {
+					b.Set(i, j, b.At(i, j)/d)
+				}
+			}
+			for k := 0; k < j; k++ {
+				f := at(j, k)
+				if f == 0 {
+					continue
+				}
+				for i := 0; i < b.Rows; i++ {
+					b.Set(i, k, b.At(i, k)-b.At(i, j)*f)
+				}
+			}
+		}
+	default: // side == Right && effUplo == Upper
+		// X·A = B with A upper: solve columns left to right.
+		for j := 0; j < n; j++ {
+			if diag == NonUnit {
+				d := at(j, j)
+				for i := 0; i < b.Rows; i++ {
+					b.Set(i, j, b.At(i, j)/d)
+				}
+			}
+			for k := j + 1; k < n; k++ {
+				f := at(j, k)
+				if f == 0 {
+					continue
+				}
+				for i := 0; i < b.Rows; i++ {
+					b.Set(i, k, b.At(i, k)-b.At(i, j)*f)
+				}
+			}
+		}
+	}
+}

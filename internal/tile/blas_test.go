@@ -1,0 +1,264 @@
+package tile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveGemm is the reference three-loop implementation.
+func naiveGemm(transA, transB Trans, alpha float64, a, b *Tile, beta float64, c *Tile) *Tile {
+	m, k := opDims(transA, a)
+	_, n := opDims(transB, b)
+	out := c.Clone()
+	opA := func(i, l int) float64 {
+		if transA == NoTrans {
+			return a.At(i, l)
+		}
+		return a.At(l, i)
+	}
+	opB := func(l, j int) float64 {
+		if transB == NoTrans {
+			return b.At(l, j)
+		}
+		return b.At(j, l)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += opA(i, l) * opB(l, j)
+			}
+			out.Set(i, j, alpha*s+beta*c.At(i, j))
+		}
+	}
+	return out
+}
+
+func randomTile(rng *rand.Rand, rows, cols int) *Tile {
+	t := New(rows, cols)
+	t.Random(rng)
+	return t
+}
+
+func TestGemmAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		m, n, k := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		alpha := 2*rng.Float64() - 1
+		beta := 2*rng.Float64() - 1
+		for _, ta := range []Trans{NoTrans, TransT} {
+			for _, tb := range []Trans{NoTrans, TransT} {
+				var a *Tile
+				if ta == NoTrans {
+					a = randomTile(rng, m, k)
+				} else {
+					a = randomTile(rng, k, m)
+				}
+				var b *Tile
+				if tb == NoTrans {
+					b = randomTile(rng, k, n)
+				} else {
+					b = randomTile(rng, n, k)
+				}
+				c := randomTile(rng, m, n)
+				want := naiveGemm(ta, tb, alpha, a, b, beta, c)
+				Gemm(ta, tb, alpha, a, b, beta, c)
+				if !c.EqualApprox(want, 1e-12) {
+					t.Fatalf("Gemm(%v,%v) mismatch at m=%d n=%d k=%d", ta, tb, m, n, k)
+				}
+			}
+		}
+	}
+}
+
+func TestGemmSpecialCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randomTile(rng, 4, 4), randomTile(rng, 4, 4)
+	c := randomTile(rng, 4, 4)
+	orig := c.Clone()
+	// alpha = 0, beta = 1: no-op.
+	Gemm(NoTrans, NoTrans, 0, a, b, 1, c)
+	if !c.EqualApprox(orig, 0) {
+		t.Error("alpha=0, beta=1 modified C")
+	}
+	// beta = 0: C = alpha A·B regardless of old C content.
+	c2 := orig.Clone()
+	Gemm(NoTrans, NoTrans, 1, a, b, 0, c2)
+	zero := New(4, 4)
+	want := naiveGemm(NoTrans, NoTrans, 1, a, b, 0, zero)
+	// Reference with beta=0 on the zero tile equals A·B.
+	if !c2.EqualApprox(want, 1e-12) {
+		t.Error("beta=0 did not overwrite C")
+	}
+}
+
+func TestGemmPanicsOnShapeMismatch(t *testing.T) {
+	a, b, c := New(2, 3), New(4, 2), New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	Gemm(NoTrans, NoTrans, 1, a, b, 1, c)
+}
+
+func TestSyrkAgainstGemm(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n, k := 1+rng.Intn(8), 1+rng.Intn(8)
+		alpha, beta := 2*rng.Float64()-1, 2*rng.Float64()-1
+		for _, trans := range []Trans{NoTrans, TransT} {
+			var a *Tile
+			if trans == NoTrans {
+				a = randomTile(rng, n, k)
+			} else {
+				a = randomTile(rng, k, n)
+			}
+			for _, uplo := range []Uplo{Lower, Upper} {
+				c := randomTile(rng, n, n)
+				want := naiveGemm(trans, 1-trans, alpha, a, a, beta, c)
+				got := c.Clone()
+				Syrk(uplo, trans, alpha, a, beta, got)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						inTriangle := (uplo == Lower && j <= i) || (uplo == Upper && j >= i)
+						if inTriangle {
+							if math.Abs(got.At(i, j)-want.At(i, j)) > 1e-12 {
+								t.Fatalf("Syrk(%v,%v) wrong at (%d,%d)", uplo, trans, i, j)
+							}
+						} else if got.At(i, j) != c.At(i, j) {
+							t.Fatalf("Syrk(%v,%v) touched (%d,%d) outside triangle", uplo, trans, i, j)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTrsmSolves checks every (side, uplo, trans, diag) combination by
+// verifying that the computed X satisfies the defining equation.
+func TestTrsmSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	makeTriangular := func(n int, uplo Uplo, diag Diag) *Tile {
+		a := randomTile(rng, n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if (uplo == Lower && j > i) || (uplo == Upper && j < i) {
+					a.Set(i, j, 0)
+				}
+			}
+			// Keep the solve well conditioned.
+			a.Set(i, i, 2+rng.Float64())
+		}
+		if diag == Unit {
+			// The stored diagonal is ignored; leave junk there on purpose.
+			for i := 0; i < n; i++ {
+				a.Set(i, i, 1e30)
+			}
+		}
+		return a
+	}
+	// effective builds the dense matrix op(A) that the solve is defined by.
+	effective := func(a *Tile, trans Trans, diag Diag) *Tile {
+		n := a.Rows
+		e := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				v := a.At(i, j)
+				if trans == TransT {
+					v = a.At(j, i)
+				}
+				e.Set(i, j, v)
+			}
+		}
+		if diag == Unit {
+			for i := 0; i < n; i++ {
+				e.Set(i, i, 1)
+			}
+		}
+		return e
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		alpha := 1 + rng.Float64()
+		for _, side := range []Side{Left, Right} {
+			for _, uplo := range []Uplo{Lower, Upper} {
+				for _, trans := range []Trans{NoTrans, TransT} {
+					for _, diag := range []Diag{NonUnit, Unit} {
+						a := makeTriangular(n, uplo, diag)
+						var b *Tile
+						if side == Left {
+							b = randomTile(rng, n, m)
+						} else {
+							b = randomTile(rng, m, n)
+						}
+						orig := b.Clone()
+						Trsm(side, uplo, trans, diag, alpha, a, b)
+						opA := effective(a, trans, diag)
+						if diag == Unit && trans == TransT {
+							// effective() must also not use the junk diagonal
+							// through the transpose path; it already reads
+							// a.At(j,i) so fix the diagonal explicitly.
+							for i := 0; i < n; i++ {
+								opA.Set(i, i, 1)
+							}
+						}
+						// Check op(A)·X = alpha·B (Left) or X·op(A) = alpha·B.
+						var lhs *Tile
+						if side == Left {
+							lhs = New(n, m)
+							Gemm(NoTrans, NoTrans, 1, opA, b, 0, lhs)
+						} else {
+							lhs = New(m, n)
+							Gemm(NoTrans, NoTrans, 1, b, opA, 0, lhs)
+						}
+						for i := range lhs.Data {
+							if math.Abs(lhs.Data[i]-alpha*orig.Data[i]) > 1e-9 {
+								t.Fatalf("Trsm(%v,%v,%v,%v) residual %g at %d",
+									side, uplo, trans, diag,
+									lhs.Data[i]-alpha*orig.Data[i], i)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrsmPanics(t *testing.T) {
+	rect := New(2, 3)
+	b := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-square A did not panic")
+		}
+	}()
+	Trsm(Left, Lower, NoTrans, NonUnit, 1, rect, b)
+}
+
+// TestGemmAssociativityProperty: (A·B)·C == A·(B·C) within tolerance, a
+// classic property-based check exercising accumulate order.
+func TestGemmAssociativityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a, b, c := randomTile(rng, n, n), randomTile(rng, n, n), randomTile(rng, n, n)
+		ab := New(n, n)
+		Gemm(NoTrans, NoTrans, 1, a, b, 0, ab)
+		abc1 := New(n, n)
+		Gemm(NoTrans, NoTrans, 1, ab, c, 0, abc1)
+		bc := New(n, n)
+		Gemm(NoTrans, NoTrans, 1, b, c, 0, bc)
+		abc2 := New(n, n)
+		Gemm(NoTrans, NoTrans, 1, a, bc, 0, abc2)
+		return abc1.EqualApprox(abc2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

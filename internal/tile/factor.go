@@ -1,0 +1,87 @@
+package tile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by Potrf when a leading minor is not
+// positive definite.
+var ErrNotPositiveDefinite = errors.New("tile: matrix not positive definite")
+
+// ErrZeroPivot is returned by Getrf when an exactly zero (or non-finite)
+// pivot is encountered; the unpivoted factorization cannot continue.
+var ErrZeroPivot = errors.New("tile: zero pivot in unpivoted LU")
+
+// Potrf computes the Cholesky factorization A = L·Lᵀ of a symmetric positive
+// definite tile in place, using only the lower triangle. On return the lower
+// triangle of A holds L; the strictly upper triangle is left untouched.
+// This is the diagonal-tile kernel of the tiled Cholesky factorization.
+func Potrf(a *Tile) error {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("tile: Potrf needs a square tile, got %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	for k := 0; k < n; k++ {
+		d := a.At(k, k)
+		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			return fmt.Errorf("%w (leading minor %d, pivot %g)", ErrNotPositiveDefinite, k+1, d)
+		}
+		d = math.Sqrt(d)
+		a.Set(k, k, d)
+		for i := k + 1; i < n; i++ {
+			a.Set(i, k, a.At(i, k)/d)
+		}
+		for j := k + 1; j < n; j++ {
+			f := a.At(j, k)
+			if f == 0 {
+				continue
+			}
+			for i := j; i < n; i++ {
+				a.Data[i*a.Cols+j] -= a.At(i, k) * f
+			}
+		}
+	}
+	return nil
+}
+
+// Getrf computes the unpivoted LU factorization A = L·U in place: on return
+// the strictly lower triangle holds the multipliers of the unit-lower L and
+// the upper triangle (with diagonal) holds U. The paper's communication
+// analysis covers the right-looking unpivoted variant; callers must supply
+// matrices for which pivoting is unnecessary (e.g. diagonally dominant).
+func Getrf(a *Tile) error {
+	if a.Rows != a.Cols {
+		panic(fmt.Sprintf("tile: Getrf needs a square tile, got %dx%d", a.Rows, a.Cols))
+	}
+	n := a.Rows
+	for k := 0; k < n; k++ {
+		p := a.At(k, k)
+		if p == 0 || math.IsNaN(p) || math.IsInf(p, 0) {
+			return fmt.Errorf("%w (step %d, pivot %g)", ErrZeroPivot, k+1, p)
+		}
+		ak := a.Row(k)
+		for i := k + 1; i < n; i++ {
+			ai := a.Row(i)
+			f := ai[k] / p
+			ai[k] = f
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				ai[j] -= f * ak[j]
+			}
+		}
+	}
+	return nil
+}
+
+// Flops returns the floating-point operation counts of the four kernels for
+// square tiles of size b, as used by the simulator's machine model. Values
+// follow the standard LAPACK conventions.
+func FlopsGemm(b int) float64  { n := float64(b); return 2 * n * n * n }
+func FlopsSyrk(b int) float64  { n := float64(b); return n * n * (n + 1) }
+func FlopsTrsm(b int) float64  { n := float64(b); return n * n * n }
+func FlopsPotrf(b int) float64 { n := float64(b); return n * n * n / 3 }
+func FlopsGetrf(b int) float64 { n := float64(b); return 2 * n * n * n / 3 }

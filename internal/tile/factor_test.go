@@ -1,0 +1,223 @@
+package tile
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// spdTile returns a random symmetric positive definite tile (diagonally
+// dominant symmetric with positive diagonal).
+func spdTile(rng *rand.Rand, n int) *Tile {
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := 2*rng.Float64() - 1
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+		a.Set(i, i, float64(n)+1+rng.Float64())
+	}
+	return a
+}
+
+// domTile returns a random diagonally dominant (non-symmetric) tile, safe for
+// unpivoted LU.
+func domTile(rng *rand.Rand, n int) *Tile {
+	a := New(n, n)
+	a.Random(rng)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, float64(n)+1+rng.Float64())
+	}
+	return a
+}
+
+func TestPotrfReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 33} {
+		a := spdTile(rng, n)
+		orig := a.Clone()
+		if err := Potrf(a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Build L explicitly and check L·Lᵀ == original.
+		l := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				l.Set(i, j, a.At(i, j))
+			}
+		}
+		llt := New(n, n)
+		Gemm(NoTrans, TransT, 1, l, l, 0, llt)
+		if !llt.EqualApprox(orig, 1e-9*float64(n)) {
+			t.Fatalf("n=%d: L·Lᵀ does not reconstruct A", n)
+		}
+		// The strictly upper triangle must be untouched.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if a.At(i, j) != orig.At(i, j) {
+					t.Fatalf("n=%d: Potrf modified upper element (%d,%d)", n, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, -1)
+	if err := Potrf(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Errorf("Potrf on indefinite matrix: err = %v", err)
+	}
+}
+
+func TestGetrfReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 33} {
+		a := domTile(rng, n)
+		orig := a.Clone()
+		if err := Getrf(a); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		l := New(n, n)
+		u := New(n, n)
+		for i := 0; i < n; i++ {
+			l.Set(i, i, 1)
+			for j := 0; j < i; j++ {
+				l.Set(i, j, a.At(i, j))
+			}
+			for j := i; j < n; j++ {
+				u.Set(i, j, a.At(i, j))
+			}
+		}
+		lu := New(n, n)
+		Gemm(NoTrans, NoTrans, 1, l, u, 0, lu)
+		if !lu.EqualApprox(orig, 1e-9*float64(n)) {
+			t.Fatalf("n=%d: L·U does not reconstruct A", n)
+		}
+	}
+}
+
+func TestGetrfRejectsZeroPivot(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	if err := Getrf(a); !errors.Is(err, ErrZeroPivot) {
+		t.Errorf("Getrf with zero pivot: err = %v", err)
+	}
+}
+
+func TestFactorPanicsOnRect(t *testing.T) {
+	for _, f := range []func(){
+		func() { _ = Potrf(New(2, 3)) },
+		func() { _ = Getrf(New(3, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("rectangular factor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestPotrfProperty: for random SPD matrices, the factor diagonal is positive
+// and the reconstruction holds (testing/quick over seeds).
+func TestPotrfProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := spdTile(rng, n)
+		orig := a.Clone()
+		if err := Potrf(a); err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if a.At(i, i) <= 0 {
+				return false
+			}
+		}
+		l := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j <= i; j++ {
+				l.Set(i, j, a.At(i, j))
+			}
+		}
+		llt := New(n, n)
+		Gemm(NoTrans, TransT, 1, l, l, 0, llt)
+		return llt.EqualApprox(orig, 1e-8*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGetrfTrsmConsistency: factorizing [A B; C D] blockwise with the tile
+// kernels matches factorizing the assembled 2n×2n tile directly — the
+// essence of why the tiled algorithm is correct.
+func TestGetrfTrsmConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 6
+	big := domTile(rng, 2*n)
+	// Copy blocks.
+	blk := func(bi, bj int) *Tile {
+		b := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b.Set(i, j, big.At(bi*n+i, bj*n+j))
+			}
+		}
+		return b
+	}
+	a00, a01 := blk(0, 0), blk(0, 1)
+	a10, a11 := blk(1, 0), blk(1, 1)
+
+	if err := Getrf(big); err != nil {
+		t.Fatal(err)
+	}
+	// Tiled algorithm.
+	if err := Getrf(a00); err != nil {
+		t.Fatal(err)
+	}
+	Trsm(Right, Upper, NoTrans, NonUnit, 1, a00, a10) // column panel
+	Trsm(Left, Lower, NoTrans, Unit, 1, a00, a01)     // row panel
+	Gemm(NoTrans, NoTrans, -1, a10, a01, 1, a11)      // trailing update
+	if err := Getrf(a11); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(bi, bj int, got *Tile) {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := big.At(bi*n+i, bj*n+j)
+				if d := got.At(i, j) - want; d > 1e-8 || d < -1e-8 {
+					t.Fatalf("block (%d,%d) element (%d,%d): got %g want %g",
+						bi, bj, i, j, got.At(i, j), want)
+				}
+			}
+		}
+	}
+	check(0, 0, a00)
+	check(0, 1, a01)
+	check(1, 0, a10)
+	check(1, 1, a11)
+}
+
+func TestFlops(t *testing.T) {
+	if FlopsGemm(10) != 2000 {
+		t.Errorf("FlopsGemm(10) = %v", FlopsGemm(10))
+	}
+	if FlopsTrsm(10) != 1000 {
+		t.Errorf("FlopsTrsm(10) = %v", FlopsTrsm(10))
+	}
+	if FlopsSyrk(10) != 1100 {
+		t.Errorf("FlopsSyrk(10) = %v", FlopsSyrk(10))
+	}
+	// Cholesky of a b×b tile is a third of a cube; LU two thirds.
+	if FlopsPotrf(9)*2 != FlopsGetrf(9) {
+		t.Error("Potrf/Getrf flop ratio wrong")
+	}
+}

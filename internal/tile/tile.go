@@ -1,0 +1,138 @@
+// Package tile provides dense matrix tiles and the sequential BLAS/LAPACK
+// style kernels that tiled LU and Cholesky factorizations are built from:
+// GEMM, SYRK, TRSM, POTRF and GETRF. These are the elementary tasks submitted
+// to the task-based runtime, mirroring the kernels Chameleon runs on each
+// worker core.
+//
+// The kernels are written from scratch in pure Go over row-major float64
+// storage. They favour clarity and cache-friendly loop orders over SIMD
+// tricks; the discrete-event simulator models kernel *time* with a calibrated
+// machine model, while these implementations provide the *numerics* for the
+// real distributed execution used in tests and examples.
+package tile
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tile is a dense rows×cols matrix block in row-major order.
+type Tile struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows×cols tile.
+func New(rows, cols int) *Tile {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tile: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Tile{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (t *Tile) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set stores v at element (i, j).
+func (t *Tile) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// Row returns the row-i slice, aliasing the tile's storage.
+func (t *Tile) Row(i int) []float64 { return t.Data[i*t.Cols : (i+1)*t.Cols] }
+
+// Clone returns a deep copy.
+func (t *Tile) Clone() *Tile {
+	c := New(t.Rows, t.Cols)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// CopyFrom overwrites t with the contents of src (dimensions must match).
+func (t *Tile) CopyFrom(src *Tile) {
+	if t.Rows != src.Rows || t.Cols != src.Cols {
+		panic(fmt.Sprintf("tile: CopyFrom shape mismatch %dx%d vs %dx%d",
+			t.Rows, t.Cols, src.Rows, src.Cols))
+	}
+	copy(t.Data, src.Data)
+}
+
+// Zero sets every element to 0.
+func (t *Tile) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Tile) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Eye overwrites t with the identity (1 on the main diagonal).
+func (t *Tile) Eye() {
+	t.Zero()
+	n := t.Rows
+	if t.Cols < n {
+		n = t.Cols
+	}
+	for i := 0; i < n; i++ {
+		t.Set(i, i, 1)
+	}
+}
+
+// Random fills the tile with uniform values in [-1, 1) drawn from rng.
+func (t *Tile) Random(rng *rand.Rand) {
+	for i := range t.Data {
+		t.Data[i] = 2*rng.Float64() - 1
+	}
+}
+
+// EqualApprox reports whether both tiles have the same shape and all elements
+// within eps of each other.
+func (t *Tile) EqualApprox(u *Tile, eps float64) bool {
+	if t.Rows != u.Rows || t.Cols != u.Cols {
+		return false
+	}
+	for i, v := range t.Data {
+		if math.Abs(v-u.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// FrobeniusNorm returns the Frobenius norm of the tile.
+func (t *Tile) FrobeniusNorm() float64 {
+	// Scaled accumulation to avoid overflow for large entries.
+	scale, ssq := 0.0, 1.0
+	for _, v := range t.Data {
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			ssq = 1 + ssq*(scale/a)*(scale/a)
+			scale = a
+		} else {
+			ssq += (a / scale) * (a / scale)
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// MaxAbs returns the largest absolute element value.
+func (t *Tile) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// Bytes returns the memory footprint of the tile payload, used by the
+// communication layer and the simulator to size messages.
+func (t *Tile) Bytes() int { return 8 * t.Rows * t.Cols }

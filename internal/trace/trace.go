@@ -1,0 +1,190 @@
+// Package trace records simulated execution timelines: one interval per
+// kernel execution (node, worker slot, task, start, end) and one per message
+// (source, destination, departure, arrival, bytes). Traces support the
+// Gantt-style analyses behind the paper's performance discussion — worker
+// utilization, idle-time attribution, and communication serialization — and
+// export as CSV for external plotting.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"anybc/internal/dag"
+)
+
+// TaskEvent is one kernel execution interval.
+type TaskEvent struct {
+	Node, Slot int
+	Task       dag.Task
+	Start, End float64
+}
+
+// MessageEvent is one tile transfer.
+type MessageEvent struct {
+	Src, Dst       int
+	Depart, Arrive float64
+	Bytes          int
+}
+
+// Recorder accumulates events during one simulation run. The simulator is
+// single-threaded, so no locking is needed.
+type Recorder struct {
+	Tasks    []TaskEvent
+	Messages []MessageEvent
+}
+
+// RecordTask appends a kernel execution interval.
+func (r *Recorder) RecordTask(node, slot int, t dag.Task, start, end float64) {
+	r.Tasks = append(r.Tasks, TaskEvent{Node: node, Slot: slot, Task: t, Start: start, End: end})
+}
+
+// RecordMessage appends a tile transfer.
+func (r *Recorder) RecordMessage(src, dst int, depart, arrive float64, bytes int) {
+	r.Messages = append(r.Messages, MessageEvent{Src: src, Dst: dst, Depart: depart, Arrive: arrive, Bytes: bytes})
+}
+
+// Makespan returns the latest event end time.
+func (r *Recorder) Makespan() float64 {
+	m := 0.0
+	for _, e := range r.Tasks {
+		if e.End > m {
+			m = e.End
+		}
+	}
+	for _, e := range r.Messages {
+		if e.Arrive > m {
+			m = e.Arrive
+		}
+	}
+	return m
+}
+
+// BusyPerNode returns the summed kernel time per node (indices up to the
+// largest node seen).
+func (r *Recorder) BusyPerNode() []float64 {
+	maxNode := -1
+	for _, e := range r.Tasks {
+		if e.Node > maxNode {
+			maxNode = e.Node
+		}
+	}
+	out := make([]float64, maxNode+1)
+	for _, e := range r.Tasks {
+		out[e.Node] += e.End - e.Start
+	}
+	return out
+}
+
+// KindBreakdown returns total kernel time per task kind name.
+func (r *Recorder) KindBreakdown() map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range r.Tasks {
+		out[e.Task.Kind.String()] += e.End - e.Start
+	}
+	return out
+}
+
+// Utilization returns, for each node, the fraction of the makespan its
+// workers spent executing kernels, given the worker count per node.
+func (r *Recorder) Utilization(workers int) []float64 {
+	mk := r.Makespan()
+	busy := r.BusyPerNode()
+	out := make([]float64, len(busy))
+	if mk <= 0 || workers <= 0 {
+		return out
+	}
+	for n, b := range busy {
+		out[n] = b / (mk * float64(workers))
+	}
+	return out
+}
+
+// Timeline bins the aggregate number of busy workers over time into `bins`
+// equal slices of the makespan — a quick activity profile.
+func (r *Recorder) Timeline(bins int) []float64 {
+	mk := r.Makespan()
+	out := make([]float64, bins)
+	if mk <= 0 || bins <= 0 {
+		return out
+	}
+	w := mk / float64(bins)
+	for _, e := range r.Tasks {
+		first := int(e.Start / w)
+		last := int(e.End / w)
+		for bin := first; bin <= last && bin < bins; bin++ {
+			lo := float64(bin) * w
+			hi := lo + w
+			s, t := e.Start, e.End
+			if s < lo {
+				s = lo
+			}
+			if t > hi {
+				t = hi
+			}
+			if t > s {
+				out[bin] += (t - s) / w
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks trace consistency: intervals well formed and no two tasks
+// overlapping on the same (node, slot).
+func (r *Recorder) Validate() error {
+	type key struct{ node, slot int }
+	bySlot := map[key][]TaskEvent{}
+	for _, e := range r.Tasks {
+		if e.End < e.Start {
+			return fmt.Errorf("trace: task %v has negative duration", e.Task)
+		}
+		k := key{e.Node, e.Slot}
+		bySlot[k] = append(bySlot[k], e)
+	}
+	for k, evs := range bySlot {
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Start < evs[i-1].End-1e-12 {
+				return fmt.Errorf("trace: overlap on node %d slot %d: %v and %v",
+					k.node, k.slot, evs[i-1].Task, evs[i].Task)
+			}
+		}
+	}
+	for _, m := range r.Messages {
+		if m.Arrive < m.Depart {
+			return fmt.Errorf("trace: message %d->%d arrives before departure", m.Src, m.Dst)
+		}
+	}
+	return nil
+}
+
+// GanttCSV writes the task intervals as CSV (node, slot, kind, task, start,
+// end).
+func (r *Recorder) GanttCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "node,slot,kind,task,start,end"); err != nil {
+		return err
+	}
+	for _, e := range r.Tasks {
+		if _, err := fmt.Fprintf(w, "%d,%d,%q,%q,%.9f,%.9f\n",
+			e.Node, e.Slot, e.Task.Kind.String(), e.Task.String(), e.Start, e.End); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MessagesCSV writes the message intervals as CSV.
+func (r *Recorder) MessagesCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "src,dst,depart,arrive,bytes"); err != nil {
+		return err
+	}
+	for _, m := range r.Messages {
+		if _, err := fmt.Fprintf(w, "%d,%d,%.9f,%.9f,%d\n",
+			m.Src, m.Dst, m.Depart, m.Arrive, m.Bytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

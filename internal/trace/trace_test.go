@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"anybc/internal/dag"
+)
+
+func sampleRecorder() *Recorder {
+	r := &Recorder{}
+	t1 := dag.Task{Kind: dag.GETRF, L: 0, I: 0, J: 0}
+	t2 := dag.Task{Kind: dag.TRSMCol, L: 0, I: 1}
+	r.RecordTask(0, 0, t1, 0, 1)
+	r.RecordTask(0, 0, t2, 1, 3)
+	r.RecordTask(1, 0, t2, 0.5, 2)
+	r.RecordMessage(0, 1, 1, 1.5, 64)
+	return r
+}
+
+func TestMakespanAndBusy(t *testing.T) {
+	r := sampleRecorder()
+	if mk := r.Makespan(); mk != 3 {
+		t.Fatalf("Makespan = %v, want 3", mk)
+	}
+	busy := r.BusyPerNode()
+	if len(busy) != 2 || busy[0] != 3 || busy[1] != 1.5 {
+		t.Fatalf("BusyPerNode = %v", busy)
+	}
+}
+
+func TestKindBreakdown(t *testing.T) {
+	r := sampleRecorder()
+	kb := r.KindBreakdown()
+	if kb["GETRF"] != 1 || kb["TRSM-col"] != 3.5 {
+		t.Fatalf("KindBreakdown = %v", kb)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := sampleRecorder()
+	u := r.Utilization(1)
+	if math.Abs(u[0]-1) > 1e-12 || math.Abs(u[1]-0.5) > 1e-12 {
+		t.Fatalf("Utilization = %v", u)
+	}
+	if got := r.Utilization(0); got[0] != 0 {
+		t.Fatal("zero workers should give zero utilization")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	r := &Recorder{}
+	r.RecordTask(0, 0, dag.Task{Kind: dag.GETRF}, 0, 2)
+	// Two bins over makespan 2: one worker busy in both.
+	tl := r.Timeline(2)
+	if math.Abs(tl[0]-1) > 1e-12 || math.Abs(tl[1]-1) > 1e-12 {
+		t.Fatalf("Timeline = %v", tl)
+	}
+	if out := (&Recorder{}).Timeline(3); len(out) != 3 {
+		t.Fatal("empty recorder timeline length wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	r := sampleRecorder()
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := &Recorder{}
+	bad.RecordTask(0, 0, dag.Task{Kind: dag.GETRF}, 0, 2)
+	bad.RecordTask(0, 0, dag.Task{Kind: dag.GETRF, L: 1}, 1, 3)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("overlapping slot accepted")
+	}
+	neg := &Recorder{}
+	neg.RecordTask(0, 0, dag.Task{}, 2, 1)
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	badMsg := &Recorder{}
+	badMsg.RecordMessage(0, 1, 2, 1, 8)
+	if err := badMsg.Validate(); err == nil {
+		t.Fatal("time-travelling message accepted")
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	r := sampleRecorder()
+	var b strings.Builder
+	if err := r.GanttCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "node,slot,kind,task,start,end") ||
+		!strings.Contains(b.String(), "GETRF") {
+		t.Fatalf("GanttCSV output: %q", b.String())
+	}
+	b.Reset()
+	if err := r.MessagesCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "src,dst") || !strings.Contains(b.String(), "64") {
+		t.Fatalf("MessagesCSV output: %q", b.String())
+	}
+}
