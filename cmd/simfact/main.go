@@ -7,6 +7,12 @@
 //	simfact -fig 7a -paper         # strong scaling at the paper's N=200,000
 //	simfact -fig 11 -csv           # Cholesky P=31, CSV output
 //	simfact -fig 1 -quick          # fastest configuration
+//
+// The -gantt mode traces one run instead: simulated by default, or a real
+// numeric execution on the virtual cluster with -real (use a small -n).
+//
+//	simfact -gantt out -p 23 -n 25000            # simulated trace
+//	simfact -gantt out -real -p 23 -n 512 -tb 16 # wall-clock trace
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"anybc/internal/dag"
 	"anybc/internal/experiments"
 	"anybc/internal/gcrm"
+	"anybc/internal/runtime"
 	"anybc/internal/simulate"
 	"anybc/internal/trace"
 )
@@ -34,11 +41,20 @@ func main() {
 		n      = flag.Int("n", 25000, "gantt mode: matrix size")
 		scheme = flag.String("scheme", "g2dbc", "gantt mode: distribution scheme")
 		kernel = flag.String("kernel", "lu", "gantt mode: lu or cholesky")
+		real   = flag.Bool("real", false, "gantt mode: trace a real numeric run on the virtual cluster instead of a simulation")
+		tb     = flag.Int("tb", 16, "gantt -real mode: tile size in elements")
+		work   = flag.Int("workers", 2, "gantt -real mode: worker goroutines per node")
 	)
 	flag.Parse()
 
 	if *gantt != "" {
-		if err := runGantt(*gantt, *p, *n, *scheme, *kernel); err != nil {
+		var err error
+		if *real {
+			err = runGanttReal(*gantt, *p, *n, *tb, *work, *scheme, *kernel)
+		} else {
+			err = runGantt(*gantt, *p, *n, *scheme, *kernel)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -119,6 +135,79 @@ func runGantt(prefix string, p, n int, scheme, kernel string) error {
 	if err != nil {
 		return err
 	}
+	if err := writeTraceCSVs(prefix, rec); err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s: %.0f GFlop/s, makespan %.3f s, %d messages\n",
+		g.Name(), d.Name(), res.GFlops(), res.Makespan, res.Messages)
+	fmt.Printf("per-node utilization:")
+	for _, u := range rec.Utilization(m.Workers, d.Nodes()) {
+		fmt.Printf(" %.2f", u)
+	}
+	fmt.Println()
+	fmt.Printf("kernel time breakdown: %v\n", rec.KindBreakdown())
+	fmt.Printf("wrote %s-gantt.csv and %s-messages.csv\n", prefix, prefix)
+	return nil
+}
+
+// runGanttReal executes one real (numeric) factorization on the virtual
+// cluster with wall-clock tracing and writes the same CSV pair as the
+// simulated mode, plus working-set statistics from the release path.
+func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string) error {
+	mt := n / b
+	if mt < 2 {
+		return fmt.Errorf("matrix size %d below two %d-element tiles", n, b)
+	}
+	d, err := core.New(core.Scheme(scheme), p, core.Options{
+		GCRMSearch: gcrm.SearchOptions{Seeds: 30, SizeFactor: 5, BaseSeed: 1, Parallel: true},
+	})
+	if err != nil {
+		return err
+	}
+	rec := &trace.Recorder{}
+	opt := runtime.Options{Workers: workers, Recorder: rec}
+	var rep *runtime.Report
+	var name string
+	switch kernel {
+	case "lu":
+		name = "LU"
+		_, rep, err = runtime.FactorLU(mt, b, d, runtime.GenDiagDominant(mt, b, 1), opt)
+	case "cholesky":
+		name = "Cholesky"
+		_, rep, err = runtime.FactorCholesky(mt, b, d, runtime.GenSPD(mt, b, 1), opt)
+	default:
+		return fmt.Errorf("unknown kernel %q", kernel)
+	}
+	if err != nil {
+		return err
+	}
+	if err := rec.Validate(); err != nil {
+		return fmt.Errorf("recorded trace inconsistent: %w", err)
+	}
+	if err := writeTraceCSVs(prefix, rec); err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (real run): wall time %v, %d messages, %.2f MB on the wire\n",
+		name, d.Name(), rep.Elapsed, rep.Stats.TotalMessages(),
+		float64(rep.Stats.TotalBytes())/1e6)
+	peak, foot := 0, 0
+	for node, pk := range rep.PeakTilesPerNode {
+		peak += pk
+		foot += rep.OwnedTilesPerNode[node] + rep.ReceivedTilesPerNode[node]
+	}
+	fmt.Printf("tile working set: peak %d cluster-wide (keep-everything footprint %d)\n", peak, foot)
+	fmt.Printf("per-node utilization:")
+	for _, u := range rec.Utilization(workers, d.Nodes()) {
+		fmt.Printf(" %.2f", u)
+	}
+	fmt.Println()
+	fmt.Printf("kernel time breakdown: %v\n", rec.KindBreakdown())
+	fmt.Printf("wrote %s-gantt.csv and %s-messages.csv\n", prefix, prefix)
+	return nil
+}
+
+// writeTraceCSVs dumps a recorder's Gantt and message CSVs under prefix.
+func writeTraceCSVs(prefix string, rec *trace.Recorder) error {
 	for suffix, dump := range map[string]func(w io.Writer) error{
 		"-gantt.csv":    rec.GanttCSV,
 		"-messages.csv": rec.MessagesCSV,
@@ -135,15 +224,6 @@ func runGantt(prefix string, p, n int, scheme, kernel string) error {
 			return err
 		}
 	}
-	fmt.Printf("%s on %s: %.0f GFlop/s, makespan %.3f s, %d messages\n",
-		g.Name(), d.Name(), res.GFlops(), res.Makespan, res.Messages)
-	fmt.Printf("per-node utilization:")
-	for _, u := range rec.Utilization(m.Workers) {
-		fmt.Printf(" %.2f", u)
-	}
-	fmt.Println()
-	fmt.Printf("kernel time breakdown: %v\n", rec.KindBreakdown())
-	fmt.Printf("wrote %s-gantt.csv and %s-messages.csv\n", prefix, prefix)
 	return nil
 }
 

@@ -62,6 +62,13 @@ func main() {
 				max = n
 			}
 		}
-		fmt.Printf("  load balance: %d..%d tasks per node\n\n", min, max)
+		peak, foot := 0, 0
+		for n, pk := range rep.PeakTilesPerNode {
+			peak += pk
+			foot += rep.OwnedTilesPerNode[n] + rep.ReceivedTilesPerNode[n]
+		}
+		fmt.Printf("  load balance: %d..%d tasks per node\n", min, max)
+		fmt.Printf("  tile working set: peak %d tiles cluster-wide (keep-everything footprint %d, %.0f%%)\n\n",
+			peak, foot, 100*float64(peak)/float64(foot))
 	}
 }

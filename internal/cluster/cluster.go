@@ -12,23 +12,31 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"anybc/internal/tile"
 )
 
-// Tag identifies a published tile version. In the right-looking
-// factorizations every tile is communicated exactly once, in its final
-// factored state (after the panel kernel of iteration min(i, j)), so the tile
-// coordinates fully identify the payload.
+// Tag identifies a published tile version: tile coordinates plus the write
+// epoch V of the payload (0 for a tile's first writer, incremented by every
+// later in-place update; see dag.OutputVersions). In the right-looking
+// factorizations every tile is communicated only in its final factored state
+// (after the panel kernel of iteration min(i, j)), but graphs that consume a
+// tile remotely at several epochs are served too: each epoch travels under
+// its own tag, so consumers can distinguish the versions.
 type Tag struct {
 	I, J int32
+	V    int32
 }
 
-// Message is one tile in flight.
+// Message is one tile in flight. SentAt is the wall-clock instant the sender
+// published it, so receivers can attribute transfer intervals in real-run
+// traces.
 type Message struct {
 	From, To int
 	Tag      Tag
 	Payload  *tile.Tile
+	SentAt   time.Time
 }
 
 // mailbox is an unbounded FIFO queue; Send never blocks, which (together
@@ -142,7 +150,7 @@ func (c *Comm) Send(dst int, tag Tag, payload *tile.Tile) {
 		panic("cluster: self-send; local data must not go through the network")
 	}
 	cl := c.cluster
-	msg := Message{From: c.rank, To: dst, Tag: tag, Payload: payload.Clone()}
+	msg := Message{From: c.rank, To: dst, Tag: tag, Payload: payload.Clone(), SentAt: time.Now()}
 	idx := c.rank*cl.p + dst
 	cl.messages[idx].Add(1)
 	cl.bytes[idx].Add(int64(payload.Bytes()))

@@ -1,0 +1,50 @@
+package dag
+
+// OutputVersions returns, for every task id, the version (write epoch) of the
+// output tile the task produces. The first writer of a tile produces version
+// 0 and every later writer — ordered by the in-place serialization
+// dependencies the graphs encode — produces its predecessor's version plus
+// one. In the right-looking factorizations the version of a task therefore
+// equals its iteration ℓ: tile (i, j) is rewritten once per iteration until
+// its panel kernel at iteration min(i, j) produces the final version.
+//
+// Versions are what lets a runtime identify which state of a tile a consumer
+// task reads: a task's input version for tile (i, j) is the largest version
+// among its direct dependencies that write (i, j), or the initial (unwritten)
+// content when no dependency writes it.
+func OutputVersions(g Graph) []int32 {
+	ver := make([]int32, g.NumTasks())
+	ForEachTask(g, func(t Task) {
+		oi, oj := g.OutputTile(t)
+		v := int32(0)
+		g.Dependencies(t, func(d Task) {
+			di, dj := g.OutputTile(d)
+			if di == oi && dj == oj {
+				if w := ver[g.ID(d)] + 1; w > v {
+					v = w
+				}
+			}
+		})
+		ver[g.ID(t)] = v
+	})
+	return ver
+}
+
+// InputVersion returns the version of tile (i, j) that task t reads: the
+// largest output version among t's direct dependencies writing (i, j), given
+// the precomputed OutputVersions slice. The boolean reports whether any
+// dependency writes the tile; false means t reads the tile's initial
+// contents.
+func InputVersion(g Graph, ver []int32, t Task, i, j int) (int32, bool) {
+	v, found := int32(-1), false
+	g.Dependencies(t, func(d Task) {
+		di, dj := g.OutputTile(d)
+		if di == i && dj == j {
+			found = true
+			if w := ver[g.ID(d)]; w > v {
+				v = w
+			}
+		}
+	})
+	return v, found
+}

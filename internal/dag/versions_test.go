@@ -1,0 +1,72 @@
+package dag
+
+import "testing"
+
+// TestOutputVersionsLU: in right-looking LU every task's output version is
+// its iteration — tile (i, j) is rewritten by one GEMM per iteration before
+// its panel kernel finalizes it.
+func TestOutputVersionsLU(t *testing.T) {
+	g := NewLU(6)
+	ver := OutputVersions(g)
+	ForEachTask(g, func(task Task) {
+		if got := ver[g.ID(task)]; got != task.L {
+			t.Fatalf("%v: version %d, want iteration %d", task, got, task.L)
+		}
+	})
+}
+
+// TestOutputVersionsCholesky: same identity for both Cholesky variants,
+// whose diagonal tiles pass through SYRK updates before POTRF.
+func TestOutputVersionsCholesky(t *testing.T) {
+	for _, g := range []Graph{NewCholesky(6), NewCholeskyLeft(6)} {
+		ver := OutputVersions(g)
+		ForEachTask(g, func(task Task) {
+			want := task.L
+			switch task.Kind {
+			case POTRF:
+				// POTRF(l) follows SYRK(0..l-1) on tile (l, l).
+				want = task.L
+			case TRSMChol:
+				// TRSM(l, i) follows GEMM/SYRK writes of iterations < l.
+				want = task.L
+			}
+			if got := ver[g.ID(task)]; got != want {
+				t.Fatalf("%s %v: version %d, want %d", g.Name(), task, got, want)
+			}
+		})
+	}
+}
+
+// TestOutputVersionsGEMM: publish tasks produce version 0; the accumulation
+// chain on each C tile increments once per k step.
+func TestOutputVersionsGEMM(t *testing.T) {
+	g := NewGEMMOp(3, 4, 5)
+	ver := OutputVersions(g)
+	ForEachTask(g, func(task Task) {
+		want := int32(0)
+		if task.Kind == GemmUpd {
+			want = task.L
+		}
+		if got := ver[g.ID(task)]; got != want {
+			t.Fatalf("%v: version %d, want %d", task, got, want)
+		}
+	})
+}
+
+// TestInputVersion: GEMM(l, i, j) reads the panel tiles at their final
+// versions, and the version lookup reports initial content for tiles no
+// dependency writes.
+func TestInputVersionLU(t *testing.T) {
+	g := NewLU(5)
+	ver := OutputVersions(g)
+	task := Task{Kind: GEMMLU, L: 2, I: 4, J: 3}
+	// Input (4, 2) is the TRSMCol(2, 4) output: its chain is GEMM(0), GEMM(1),
+	// TRSMCol(2) — version 2.
+	v, ok := InputVersion(g, ver, task, 4, 2)
+	if !ok || v != 2 {
+		t.Fatalf("input (4,2) of %v: version %d ok=%v, want 2", task, v, ok)
+	}
+	if _, ok := InputVersion(g, ver, task, 0, 0); ok {
+		t.Fatalf("%v has no dependency writing (0,0)", task)
+	}
+}

@@ -10,6 +10,34 @@
 // tile to each distinct consumer node as one point-to-point message; tile
 // arrivals release the tasks waiting on them. Mailboxes are unbounded and the
 // graph is acyclic, so execution is deadlock-free.
+//
+// # Versioned tile protocol
+//
+// Every published tile travels under a cluster.Tag carrying its write epoch
+// (dag.OutputVersions): version 0 is the tile's first write, and each later
+// in-place update increments it. A tile that remote nodes consume at several
+// versions — legal in general task graphs, even though the right-looking
+// factorizations only ever ship final versions — is simply sent once per
+// (version, consumer node) pair, and receivers key their copies by the full
+// versioned tag. Run prevalidates the (graph, distribution) pair and returns
+// a descriptive error for anything the protocol cannot serve: unserialized
+// writers of one tile, remote reads of initial tile contents, or local reads
+// of an intermediate version that race the next in-place update.
+//
+// # Tile lifetime
+//
+// Received tiles are reference-counted by their number of local consumer
+// tasks and released as soon as the last consumer's kernel has run, so a
+// node's working set is bounded by what is genuinely in flight rather than
+// growing with the whole run's traffic (the block-lifetime discipline of
+// DBCSR-style runtimes). Report.PeakTilesPerNode exposes the high-water mark.
+//
+// # Tracing
+//
+// When Options.Recorder is set, the run records wall-clock kernel intervals
+// (per node and worker slot) and message departure/arrival times into a
+// trace.Recorder, so real executions feed the same Gantt, utilization and
+// CSV machinery as the simulator.
 package runtime
 
 import (
@@ -21,6 +49,7 @@ import (
 	"anybc/internal/dag"
 	"anybc/internal/dist"
 	"anybc/internal/tile"
+	"anybc/internal/trace"
 )
 
 // Kernel applies one task: out is the task's output tile (updated in place),
@@ -33,6 +62,10 @@ type Options struct {
 	// (default 1). Values above 1 model multi-core nodes; correctness is
 	// guaranteed by the task graph for any value.
 	Workers int
+	// Recorder, when non-nil, receives every kernel interval and message of
+	// the run (wall-clock seconds since the run started) for the
+	// Gantt/utilization analyses of package trace.
+	Recorder *trace.Recorder
 }
 
 // Report summarizes one distributed execution.
@@ -44,11 +77,17 @@ type Report struct {
 	// FlopsPerNode sums the flops each node executed.
 	FlopsPerNode []float64
 	// OwnedTilesPerNode and ReceivedTilesPerNode describe each node's memory
-	// footprint: tiles it owns under the distribution, and remote tiles it
-	// had to hold to execute its tasks. Their sum bounds the node's working
-	// set (this runtime keeps received tiles for the whole run).
+	// traffic: tiles it owns under the distribution, and remote tile versions
+	// delivered to it over the run. Received tiles are released after their
+	// last local consumer runs, so their count bounds traffic, not residency.
 	OwnedTilesPerNode    []int
 	ReceivedTilesPerNode []int
+	// PeakTilesPerNode is each node's working-set high-water mark: the
+	// maximum number of tiles (owned + received-and-not-yet-released) the
+	// node held at any instant. It is at most OwnedTilesPerNode +
+	// ReceivedTilesPerNode, and strictly below it whenever tile release
+	// reclaimed memory mid-run.
+	PeakTilesPerNode []int
 	// Elapsed is the wall-clock duration of the distributed run.
 	Elapsed time.Duration
 }
@@ -64,15 +103,19 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 	if opt.Workers <= 0 {
 		opt.Workers = 1
 	}
+	ver, err := prevalidate(g, d)
+	if err != nil {
+		return nil, err
+	}
 	P := d.Nodes()
 	cl := cluster.New(P)
 
+	start := time.Now()
 	engines := make([]*engine, P)
 	for rank := 0; rank < P; rank++ {
-		engines[rank] = newEngine(rank, cl.Comm(rank), g, d, b, gen, kern, opt.Workers)
+		engines[rank] = newEngine(rank, cl.Comm(rank), g, d, b, gen, kern, opt, ver, start)
 	}
 
-	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make([]error, P)
 	for rank := 0; rank < P; rank++ {
@@ -98,13 +141,15 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		FlopsPerNode:         make([]float64, P),
 		OwnedTilesPerNode:    make([]int, P),
 		ReceivedTilesPerNode: make([]int, P),
+		PeakTilesPerNode:     make([]int, P),
 		Elapsed:              elapsed,
 	}
 	for rank, e := range engines {
 		rep.TasksPerNode[rank] = len(e.owned)
 		rep.FlopsPerNode[rank] = e.flops
 		rep.OwnedTilesPerNode[rank] = e.ownedTiles
-		rep.ReceivedTilesPerNode[rank] = len(e.tiles) - e.ownedTiles
+		rep.ReceivedTilesPerNode[rank] = e.recvTotal
+		rep.PeakTilesPerNode[rank] = e.peakTiles
 	}
 
 	if collect != nil {
@@ -129,6 +174,14 @@ type event struct {
 	msg       cluster.Message
 }
 
+// inputRef locates one input tile of an owned task: the owner-side in-place
+// buffer for local tiles (keyed by coordinates, version 0), or a received
+// versioned copy for remote tiles.
+type inputRef struct {
+	remote bool
+	tag    cluster.Tag
+}
+
 type engine struct {
 	rank    int
 	comm    *cluster.Comm
@@ -137,19 +190,31 @@ type engine struct {
 	b       int
 	kern    Kernel
 	workers int
+	ver     []int32 // per-task output versions (shared, read-only)
+	rec     *trace.Recorder
+	epoch   time.Time
 
 	owned     []dag.Task
 	localIdx  map[int]int // graph task id -> index in owned
 	remaining []int32
+	ins       [][]inputRef // per owned task, in InputTiles visit order
 	waiters   map[cluster.Tag][]int
-	tiles     map[cluster.Tag]*tile.Tile
+	// tiles holds the owned tiles, keyed at version 0: the in-place buffers
+	// the owner's writer chain updates. recv holds received remote versions,
+	// each retained until readers[tag] consumers have run.
+	tiles   map[cluster.Tag]*tile.Tile
+	recv    map[cluster.Tag]*tile.Tile
+	readers map[cluster.Tag]int32
 
 	flops      float64
 	ownedTiles int
+	recvTotal  int
+	peakTiles  int
 }
 
 func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
-	b int, gen func(i, j int) *tile.Tile, kern Kernel, workers int) *engine {
+	b int, gen func(i, j int) *tile.Tile, kern Kernel, opt Options,
+	ver []int32, epoch time.Time) *engine {
 
 	e := &engine{
 		rank:     rank,
@@ -158,10 +223,18 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 		owner:    d.Owner,
 		b:        b,
 		kern:     kern,
-		workers:  workers,
+		workers:  opt.Workers,
+		ver:      ver,
+		rec:      opt.Recorder,
+		epoch:    epoch,
 		localIdx: make(map[int]int),
 		waiters:  make(map[cluster.Tag][]int),
 		tiles:    make(map[cluster.Tag]*tile.Tile),
+		recv:     make(map[cluster.Tag]*tile.Tile),
+		readers:  make(map[cluster.Tag]int32),
+	}
+	if e.workers <= 0 {
+		e.workers = 1
 	}
 	// Discover owned tasks and materialize owned tiles.
 	dag.ForEachTask(g, func(t dag.Task) {
@@ -178,17 +251,32 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 			e.ownedTiles++
 		}
 	})
+	e.peakTiles = e.ownedTiles
 	// Dependency bookkeeping: local deps resolve through successor visits,
-	// remote deps through tile arrivals.
+	// remote deps through versioned tile arrivals.
 	e.remaining = make([]int32, len(e.owned))
+	e.ins = make([][]inputRef, len(e.owned))
 	for idx, t := range e.owned {
 		e.remaining[idx] = int32(e.g.NumDependencies(t))
 		e.g.Dependencies(t, func(dep dag.Task) {
 			di, dj := e.g.OutputTile(dep)
 			if d.Owner(di, dj) != rank {
-				tag := cluster.Tag{I: int32(di), J: int32(dj)}
+				tag := cluster.Tag{I: int32(di), J: int32(dj), V: ver[e.g.ID(dep)]}
 				e.waiters[tag] = append(e.waiters[tag], idx)
 			}
+		})
+		// Resolve each input tile to its local buffer or the versioned remote
+		// copy the task consumes, and count consumers per remote version so
+		// copies can be released after their last reader.
+		e.g.InputTiles(t, func(i, j int) {
+			if d.Owner(i, j) == rank {
+				e.ins[idx] = append(e.ins[idx], inputRef{tag: cluster.Tag{I: int32(i), J: int32(j)}})
+				return
+			}
+			v, _ := dag.InputVersion(e.g, ver, t, i, j)
+			tag := cluster.Tag{I: int32(i), J: int32(j), V: v}
+			e.ins[idx] = append(e.ins[idx], inputRef{remote: true, tag: tag})
+			e.readers[tag]++
 		})
 	}
 	return e
@@ -227,15 +315,20 @@ func (e *engine) run() error {
 	var workerWG sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		workerWG.Add(1)
-		go func() {
+		go func(slot int) {
 			defer workerWG.Done()
 			for jb := range work {
+				start := time.Now()
 				if err := e.kern(e.owned[jb.idx], jb.out, jb.inputs); err != nil {
 					kernErrOnce.Do(func() { kernErr = err })
 				}
+				if e.rec != nil {
+					e.rec.RecordTask(e.rank, slot, e.owned[jb.idx],
+						start.Sub(e.epoch).Seconds(), time.Since(e.epoch).Seconds())
+				}
 				events <- event{completed: jb.idx}
 			}
-		}()
+		}(w)
 	}
 
 	var ready []int
@@ -249,15 +342,18 @@ func (e *engine) run() error {
 		t := e.owned[idx]
 		oi, oj := e.g.OutputTile(t)
 		out := e.tiles[cluster.Tag{I: int32(oi), J: int32(oj)}]
-		var inputs []*tile.Tile
-		e.g.InputTiles(t, func(i, j int) {
-			tag := cluster.Tag{I: int32(i), J: int32(j)}
-			in, ok := e.tiles[tag]
-			if !ok {
-				panic(fmt.Sprintf("runtime: node %d: input tile (%d,%d) of %v missing", e.rank, i, j, t))
+		refs := e.ins[idx]
+		inputs := make([]*tile.Tile, len(refs))
+		for k, ref := range refs {
+			in, ok := e.tiles[ref.tag], true
+			if ref.remote {
+				in, ok = e.recv[ref.tag]
 			}
-			inputs = append(inputs, in)
-		})
+			if !ok || in == nil {
+				panic(fmt.Sprintf("runtime: node %d: input tile %v of %v missing", e.rank, ref.tag, t))
+			}
+			inputs[k] = in
+		}
 		work <- job{idx: idx, out: out, inputs: inputs}
 	}
 
@@ -293,14 +389,16 @@ func (e *engine) run() error {
 	return kernErr
 }
 
-// onComplete publishes a finished task: releases local successors and sends
-// the output tile once to every distinct remote consumer node.
+// onComplete publishes a finished task: releases local successors, sends the
+// output tile version once to every distinct remote consumer node, and
+// releases received tiles whose last local consumer just ran.
 func (e *engine) onComplete(idx int, ready []int) []int {
 	t := e.owned[idx]
 	e.flops += e.g.Flops(t, e.b)
 	oi, oj := e.g.OutputTile(t)
-	tag := cluster.Tag{I: int32(oi), J: int32(oj)}
-	out := e.tiles[tag]
+	v := e.ver[e.g.ID(t)]
+	out := e.tiles[cluster.Tag{I: int32(oi), J: int32(oj)}]
+	netTag := cluster.Tag{I: int32(oi), J: int32(oj), V: v}
 
 	sent := map[int]bool{}
 	e.g.Successors(t, func(s dag.Task) {
@@ -316,20 +414,46 @@ func (e *engine) onComplete(idx int, ready []int) []int {
 		}
 		if !sent[dst] {
 			sent[dst] = true
-			e.comm.Send(dst, tag, out)
+			e.comm.Send(dst, netTag, out)
 		}
 	})
+
+	// Last-reader release: drop received copies this task consumed once no
+	// other local task still needs them.
+	for _, ref := range e.ins[idx] {
+		if !ref.remote {
+			continue
+		}
+		if e.readers[ref.tag]--; e.readers[ref.tag] <= 0 {
+			delete(e.readers, ref.tag)
+			delete(e.recv, ref.tag)
+		}
+	}
 	return ready
 }
 
-// onArrival stores a received tile and releases the tasks waiting on it.
+// onArrival stores a received tile version and releases the tasks waiting on
+// it. Versions no local task consumes (pure ordering dependencies) are
+// dropped immediately; everything else is retained until its last consumer
+// runs.
 func (e *engine) onArrival(msg cluster.Message, ready []int) []int {
-	if _, dup := e.tiles[msg.Tag]; dup {
+	if _, dup := e.recv[msg.Tag]; dup {
 		// A tile version is sent at most once per destination; receiving a
 		// duplicate indicates a protocol bug.
 		panic(fmt.Sprintf("runtime: node %d: duplicate tile %v", e.rank, msg.Tag))
 	}
-	e.tiles[msg.Tag] = msg.Payload
+	e.recvTotal++
+	if e.rec != nil {
+		e.rec.RecordMessage(msg.From, e.rank,
+			msg.SentAt.Sub(e.epoch).Seconds(), time.Since(e.epoch).Seconds(),
+			msg.Payload.Bytes())
+	}
+	if e.readers[msg.Tag] > 0 {
+		e.recv[msg.Tag] = msg.Payload
+		if held := e.ownedTiles + len(e.recv); held > e.peakTiles {
+			e.peakTiles = held
+		}
+	}
 	for _, idx := range e.waiters[msg.Tag] {
 		e.remaining[idx]--
 		if e.remaining[idx] == 0 {

@@ -74,3 +74,60 @@ func TestSoakPaperNodeCounts(t *testing.T) {
 		}
 	}
 }
+
+// TestSoakVersionedProtocolRelease drives the versioned tile protocol and the
+// last-reader release path under concurrency (meant for -race): both kernels,
+// block-cyclic and symmetric distributions, multiple workers per node. Beyond
+// the residuals, it checks the tile-lifetime invariant: the per-node working
+// set peak never exceeds the old keep-everything footprint, and across a full
+// factorization the release path reclaims tiles on at least one node.
+func TestSoakVersionedProtocolRelease(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const mt, b = 28, 6
+
+	checkPeaks := func(t *testing.T, rep *Report) {
+		t.Helper()
+		sumPeak, sumFoot := 0, 0
+		for n, peak := range rep.PeakTilesPerNode {
+			foot := rep.OwnedTilesPerNode[n] + rep.ReceivedTilesPerNode[n]
+			if peak > foot {
+				t.Errorf("node %d peak %d above whole-run footprint %d", n, peak, foot)
+			}
+			sumPeak += peak
+			sumFoot += foot
+		}
+		if sumPeak >= sumFoot {
+			t.Errorf("release path reclaimed nothing: peak %d vs footprint %d", sumPeak, sumFoot)
+		}
+	}
+
+	t.Run("LU", func(t *testing.T) {
+		for _, d := range []dist.Distribution{dist.NewG2DBC(13), dist.NewSBCPair(6)} {
+			orig := matrix.NewDiagDominant(mt, b, 77)
+			fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 77), Options{Workers: 4})
+			if err != nil {
+				t.Fatalf("%s: %v", d.Name(), err)
+			}
+			if res := matrix.ResidualLU(orig, fact); res > 1e-10 {
+				t.Errorf("%s: residual %g", d.Name(), res)
+			}
+			checkPeaks(t, rep)
+		}
+	})
+
+	t.Run("Cholesky", func(t *testing.T) {
+		for _, d := range []dist.Distribution{dist.NewG2DBC(13), dist.NewSBCEven(6)} {
+			orig := matrix.NewSPD(mt, b, 76)
+			fact, rep, err := FactorCholesky(mt, b, d, GenSPD(mt, b, 76), Options{Workers: 4})
+			if err != nil {
+				t.Fatalf("%s: %v", d.Name(), err)
+			}
+			if res := matrix.ResidualCholesky(orig, fact); res > 1e-10 {
+				t.Errorf("%s: residual %g", d.Name(), res)
+			}
+			checkPeaks(t, rep)
+		}
+	})
+}

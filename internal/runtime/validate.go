@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"fmt"
+
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+)
+
+// prevalidate checks that the versioned tile protocol can serve the
+// (graph, distribution) pair and returns the per-task output versions the
+// engines key their messages by. It fails with a descriptive error — instead
+// of letting a node panic deep inside its event loop — when:
+//
+//   - a tile used by the graph is mapped outside [0, P);
+//   - two tasks produce the same version of the same tile, i.e. the graph
+//     does not serialize the writers of a tile (the runs would race);
+//   - a task reads the initial contents of a tile owned by another node: the
+//     protocol only moves tiles on task completion, so initial contents never
+//     cross the network;
+//   - a task reads a local tile at an intermediate version without ordering
+//     itself before the tile's next writer, so the in-place update could
+//     overwrite the tile while it is being read.
+func prevalidate(g dag.Graph, d dist.Distribution) ([]int32, error) {
+	P := d.Nodes()
+	ver := dag.OutputVersions(g)
+
+	// Writers of every tile, indexed by version.
+	type coord struct{ i, j int32 }
+	writers := make(map[coord][]int32)
+	var err error
+	dag.ForEachTask(g, func(t dag.Task) {
+		if err != nil {
+			return
+		}
+		oi, oj := g.OutputTile(t)
+		if o := d.Owner(oi, oj); o < 0 || o >= P {
+			err = fmt.Errorf("runtime: %s maps tile (%d, %d) to node %d, outside 0..%d",
+				d.Name(), oi, oj, o, P-1)
+			return
+		}
+		c := coord{int32(oi), int32(oj)}
+		v := ver[g.ID(t)]
+		w := writers[c]
+		for int32(len(w)) <= v {
+			w = append(w, -1)
+		}
+		if prev := w[v]; prev >= 0 {
+			err = fmt.Errorf("runtime: %v and %v both produce version %d of tile (%d, %d): "+
+				"the graph does not serialize the tile's writers",
+				g.TaskOf(int(prev)), t, v, oi, oj)
+			return
+		}
+		w[v] = int32(g.ID(t))
+		writers[c] = w
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// dependsOn reports whether task w has t among its direct dependencies.
+	dependsOn := func(w, t dag.Task) bool {
+		found := false
+		g.Dependencies(w, func(d dag.Task) {
+			if d == t {
+				found = true
+			}
+		})
+		return found
+	}
+
+	dag.ForEachTask(g, func(t dag.Task) {
+		if err != nil {
+			return
+		}
+		oi, oj := g.OutputTile(t)
+		self := d.Owner(oi, oj)
+		g.InputTiles(t, func(i, j int) {
+			if err != nil {
+				return
+			}
+			v, produced := dag.InputVersion(g, ver, t, i, j)
+			remote := d.Owner(i, j) != self
+			if !produced {
+				if remote {
+					err = fmt.Errorf("runtime: %v on node %d reads the initial contents of "+
+						"remote tile (%d, %d): the protocol only delivers tiles produced by tasks",
+						t, self, i, j)
+				}
+				return
+			}
+			if remote {
+				return // delivered as a versioned message
+			}
+			// Local read of an intermediate version: the next writer must be
+			// ordered after the reader or the in-place update races the read.
+			w := writers[coord{int32(i), int32(j)}]
+			if int(v+1) < len(w) {
+				next := g.TaskOf(int(w[v+1]))
+				if !dependsOn(next, t) {
+					err = fmt.Errorf("runtime: %v reads local tile (%d, %d) at version %d "+
+						"but the next writer %v is not ordered after it", t, i, j, v, next)
+				}
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ver, nil
+}

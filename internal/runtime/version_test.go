@@ -1,0 +1,374 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+	"anybc/internal/matrix"
+	"anybc/internal/tile"
+	"anybc/internal/trace"
+)
+
+// ---- configurable test graph -------------------------------------------
+
+const kTest dag.Kind = 200
+
+// testTask describes one task of a hand-built graph: its output tile, the
+// ids of its direct dependencies, and the tiles it reads.
+type testTask struct {
+	out  [2]int
+	deps []int
+	ins  [][2]int
+}
+
+// testGraph is a literal dag.Graph for protocol tests: ids are topological
+// (dependencies always point to lower ids, matching the generic ForEachTask
+// fallback).
+type testGraph struct {
+	tiles int
+	tasks []testTask
+	succ  [][]int
+}
+
+func newTestGraph(tiles int, tasks []testTask) *testGraph {
+	g := &testGraph{tiles: tiles, tasks: tasks, succ: make([][]int, len(tasks))}
+	for id, t := range tasks {
+		for _, d := range t.deps {
+			g.succ[d] = append(g.succ[d], id)
+		}
+	}
+	return g
+}
+
+func (g *testGraph) Name() string          { return "test" }
+func (g *testGraph) Tiles() int            { return g.tiles }
+func (g *testGraph) NumTasks() int         { return len(g.tasks) }
+func (g *testGraph) ID(t dag.Task) int     { return int(t.I) }
+func (g *testGraph) TaskOf(id int) dag.Task { return dag.Task{Kind: kTest, I: int32(id)} }
+
+func (g *testGraph) Dependencies(t dag.Task, visit func(dag.Task)) {
+	for _, d := range g.tasks[t.I].deps {
+		visit(g.TaskOf(d))
+	}
+}
+
+func (g *testGraph) Successors(t dag.Task, visit func(dag.Task)) {
+	for _, s := range g.succ[t.I] {
+		visit(g.TaskOf(s))
+	}
+}
+
+func (g *testGraph) NumDependencies(t dag.Task) int { return len(g.tasks[t.I].deps) }
+
+func (g *testGraph) OutputTile(t dag.Task) (int, int) {
+	o := g.tasks[t.I].out
+	return o[0], o[1]
+}
+
+func (g *testGraph) InputTiles(t dag.Task, visit func(i, j int)) {
+	for _, in := range g.tasks[t.I].ins {
+		visit(in[0], in[1])
+	}
+}
+
+func (g *testGraph) Flops(t dag.Task, b int) float64 { return 1 }
+func (g *testGraph) TotalFlops(b int) float64        { return float64(len(g.tasks)) }
+
+// testDist maps tiles to nodes through a literal function.
+type testDist struct {
+	p     int
+	owner func(i, j int) int
+}
+
+func (d testDist) Name() string       { return "testdist" }
+func (d testDist) Nodes() int         { return d.p }
+func (d testDist) Owner(i, j int) int { return d.owner(i, j) }
+
+// ---- versioned delivery -------------------------------------------------
+
+// TestMultiVersionRemoteConsumption is the protocol change end-to-end: tile
+// (0,0) is written twice on node 0 and each version is consumed remotely on
+// node 1. The pre-versioned runtime panicked on the second arrival
+// ("duplicate tile"); the versioned protocol must deliver both states and
+// give each consumer the version its dependency produced.
+func TestMultiVersionRemoteConsumption(t *testing.T) {
+	// id 0: W0 writes (0,0)            = 10
+	// id 1: R0 reads (0,0)@v0, writes (1,0) = v0 + 100
+	// id 2: W1 rewrites (0,0) in place = v0 + 5
+	// id 3: R1 reads (0,0)@v1, writes (2,0) = v1 + 1000
+	g := newTestGraph(3, []testTask{
+		{out: [2]int{0, 0}},
+		{out: [2]int{1, 0}, deps: []int{0}, ins: [][2]int{{0, 0}}},
+		{out: [2]int{0, 0}, deps: []int{0}},
+		{out: [2]int{2, 0}, deps: []int{2}, ins: [][2]int{{0, 0}}},
+	})
+	d := testDist{p: 2, owner: func(i, j int) int {
+		if i == 0 {
+			return 0
+		}
+		return 1
+	}}
+	kern := func(task dag.Task, out *tile.Tile, inputs []*tile.Tile) error {
+		switch task.I {
+		case 0:
+			out.Set(0, 0, 10)
+		case 1:
+			out.Set(0, 0, inputs[0].At(0, 0)+100)
+		case 2:
+			out.Set(0, 0, out.At(0, 0)+5)
+		case 3:
+			out.Set(0, 0, inputs[0].At(0, 0)+1000)
+		}
+		return nil
+	}
+	gen := func(i, j int) *tile.Tile { return tile.New(1, 1) }
+
+	for _, workers := range []int{1, 3} {
+		got := map[[2]int]float64{}
+		rep, err := Run(g, d, 1, gen, kern, Options{Workers: workers},
+			func(i, j int, tl *tile.Tile) { got[[2]int{i, j}] = tl.At(0, 0) })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := map[[2]int]float64{{0, 0}: 15, {1, 0}: 110, {2, 0}: 1015}
+		for k, w := range want {
+			if got[k] != w {
+				t.Errorf("workers=%d: tile %v = %v, want %v (wrong version consumed)",
+					workers, k, got[k], w)
+			}
+		}
+		// Two versions of (0,0) crossed the network to node 1.
+		if n := rep.Stats.TotalMessages(); n != 2 {
+			t.Errorf("workers=%d: %d messages, want 2", workers, n)
+		}
+		if rep.ReceivedTilesPerNode[1] != 2 {
+			t.Errorf("workers=%d: node 1 received %d tiles, want 2",
+				workers, rep.ReceivedTilesPerNode[1])
+		}
+	}
+}
+
+// TestMultiVersionChainRelease stresses a longer write chain with interleaved
+// remote consumers of every version, checking values and that released
+// copies keep the peak below the whole-run footprint.
+func TestMultiVersionChainRelease(t *testing.T) {
+	const chain = 12
+	// Writers W_k (k = 0..chain-1) rewrite tile (0,0): value after W_k is
+	// k+1. Reader R_k on node 1 reads version k and writes (k+1, 0) = k+1.
+	var tasks []testTask
+	for k := 0; k < chain; k++ {
+		w := testTask{out: [2]int{0, 0}}
+		if k > 0 {
+			w.deps = []int{2 * (k - 1)}
+		}
+		tasks = append(tasks, w)
+		tasks = append(tasks, testTask{
+			out:  [2]int{k + 1, 0},
+			deps: []int{2 * k},
+			ins:  [][2]int{{0, 0}},
+		})
+	}
+	g := newTestGraph(chain+1, tasks)
+	d := testDist{p: 2, owner: func(i, j int) int {
+		if i == 0 {
+			return 0
+		}
+		return 1
+	}}
+	kern := func(task dag.Task, out *tile.Tile, inputs []*tile.Tile) error {
+		if int(task.I)%2 == 0 {
+			out.Set(0, 0, out.At(0, 0)+1)
+		} else {
+			out.Set(0, 0, inputs[0].At(0, 0))
+		}
+		return nil
+	}
+	gen := func(i, j int) *tile.Tile { return tile.New(1, 1) }
+
+	got := map[int]float64{}
+	rep, err := Run(g, d, 1, gen, kern, Options{Workers: 2},
+		func(i, j int, tl *tile.Tile) {
+			if i > 0 {
+				got[i] = tl.At(0, 0)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= chain; k++ {
+		if got[k] != float64(k) {
+			t.Errorf("reader %d saw %v, want %v", k, got[k], float64(k))
+		}
+	}
+	if rep.ReceivedTilesPerNode[1] != chain {
+		t.Errorf("node 1 received %d versions, want %d", rep.ReceivedTilesPerNode[1], chain)
+	}
+	foot := rep.OwnedTilesPerNode[1] + rep.ReceivedTilesPerNode[1]
+	if rep.PeakTilesPerNode[1] > foot {
+		t.Errorf("node 1 peak %d above footprint %d", rep.PeakTilesPerNode[1], foot)
+	}
+}
+
+// ---- prevalidation ------------------------------------------------------
+
+func TestPrevalidateRemoteInitialRead(t *testing.T) {
+	// One task on node 1 reads tile (0,0) that nothing produces and node 0
+	// owns: the protocol has no way to deliver it, so Run must fail up front
+	// with a descriptive error instead of panicking inside an engine.
+	g := newTestGraph(2, []testTask{
+		{out: [2]int{1, 0}, ins: [][2]int{{0, 0}}},
+	})
+	d := testDist{p: 2, owner: func(i, j int) int { return i }}
+	_, err := Run(g, d, 1, func(i, j int) *tile.Tile { return tile.New(1, 1) },
+		func(task dag.Task, out *tile.Tile, inputs []*tile.Tile) error { return nil },
+		Options{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "initial contents") {
+		t.Fatalf("expected initial-contents error, got %v", err)
+	}
+}
+
+func TestPrevalidateUnserializedWriters(t *testing.T) {
+	// Two independent tasks both write tile (0,0): their kernels would race
+	// and both would claim version 0.
+	g := newTestGraph(1, []testTask{
+		{out: [2]int{0, 0}},
+		{out: [2]int{0, 0}},
+	})
+	d := testDist{p: 1, owner: func(i, j int) int { return 0 }}
+	_, err := Run(g, d, 1, func(i, j int) *tile.Tile { return tile.New(1, 1) },
+		func(task dag.Task, out *tile.Tile, inputs []*tile.Tile) error { return nil },
+		Options{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "serialize") {
+		t.Fatalf("expected unserialized-writers error, got %v", err)
+	}
+}
+
+func TestPrevalidateUnorderedIntermediateRead(t *testing.T) {
+	// A local reader of an intermediate version with no ordering against the
+	// next in-place writer: the read races the overwrite.
+	g := newTestGraph(2, []testTask{
+		{out: [2]int{0, 0}},                                     // W0
+		{out: [2]int{1, 0}, deps: []int{0}, ins: [][2]int{{0, 0}}}, // reader of v0
+		{out: [2]int{0, 0}, deps: []int{0}},                     // W1, unordered wrt reader
+	})
+	d := testDist{p: 1, owner: func(i, j int) int { return 0 }}
+	_, err := Run(g, d, 1, func(i, j int) *tile.Tile { return tile.New(1, 1) },
+		func(task dag.Task, out *tile.Tile, inputs []*tile.Tile) error { return nil },
+		Options{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "next writer") {
+		t.Fatalf("expected unordered-read error, got %v", err)
+	}
+}
+
+func TestPrevalidateOwnerOutOfRange(t *testing.T) {
+	g := dag.NewLU(3)
+	d := testDist{p: 2, owner: func(i, j int) int { return 5 }}
+	_, err := Run(g, d, 2, GenDiagDominant(3, 2, 1), LUKernel, Options{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("expected out-of-range error, got %v", err)
+	}
+}
+
+// TestPrevalidateAcceptsBuiltinGraphs: every built-in graph family passes
+// prevalidation under representative distributions (each paired with the
+// same wrapper the public entry points use).
+func TestPrevalidateAcceptsBuiltinGraphs(t *testing.T) {
+	d := dist.NewG2DBC(5)
+	cases := []struct {
+		g dag.Graph
+		d dist.Distribution
+	}{
+		{dag.NewLU(6), d},
+		{dag.NewCholesky(6), d},
+		{dag.NewCholeskyLeft(6), d},
+		{dag.NewLUSolve(5, 2), solveDist{Distribution: d, mt: 5}},
+		{dag.NewCholeskySolve(5, 2), solveDist{Distribution: d, mt: 5}},
+		{dag.NewSYRKOp(5, 4), syrkDist{Distribution: d, mt: 5}},
+		{dag.NewGEMMOp(4, 4, 4), gemmDist{Distribution: d, mt: 4, nt: 4}},
+	}
+	for _, c := range cases {
+		if _, err := prevalidate(c.g, c.d); err != nil {
+			t.Errorf("%s rejected: %v", c.g.Name(), err)
+		}
+	}
+}
+
+// ---- real-run tracing ---------------------------------------------------
+
+// TestRealRunTrace: a real distributed factorization with a Recorder attached
+// produces a consistent wall-clock trace that validates and exports.
+func TestRealRunTrace(t *testing.T) {
+	const mt, b = 8, 4
+	d := dist.NewG2DBC(5)
+	rec := &trace.Recorder{}
+	orig := matrix.NewDiagDominant(mt, b, 7)
+	fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 7),
+		Options{Workers: 3, Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := matrix.ResidualLU(orig, fact); res > 1e-11 {
+		t.Errorf("residual %g", res)
+	}
+	if err := rec.Validate(); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if want := dag.NewLU(mt).NumTasks(); len(rec.Tasks) != want {
+		t.Errorf("trace has %d task events, want %d", len(rec.Tasks), want)
+	}
+	if int64(len(rec.Messages)) != rep.Stats.TotalMessages() {
+		t.Errorf("trace has %d messages, runtime sent %d",
+			len(rec.Messages), rep.Stats.TotalMessages())
+	}
+	if mk, el := rec.Makespan(), rep.Elapsed.Seconds(); mk <= 0 || mk > el {
+		t.Errorf("trace makespan %v outside (0, %v]", mk, el)
+	}
+	u := rec.Utilization(3, d.Nodes())
+	if len(u) != d.Nodes() {
+		t.Errorf("utilization for %d nodes, want %d", len(u), d.Nodes())
+	}
+	var gantt, msgs strings.Builder
+	if err := rec.GanttCSV(&gantt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gantt.String(), "GETRF") {
+		t.Errorf("Gantt CSV missing kernels: %q", gantt.String()[:80])
+	}
+	if err := rec.MessagesCSV(&msgs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(msgs.String(), "src,dst") {
+		t.Error("messages CSV missing header")
+	}
+}
+
+// ---- bounded tile lifetime ----------------------------------------------
+
+// TestPeakWorkingSetLU44 runs LU on the paper's 44-node cluster size: with
+// received tiles released after their last consumer, the working-set peak
+// must stay strictly below the old keep-everything footprint.
+func TestPeakWorkingSetLU44(t *testing.T) {
+	const mt, b = 24, 4
+	d := dist.NewG2DBC(44)
+	_, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 11), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sumPeak, sumFoot := 0, 0
+	for n, peak := range rep.PeakTilesPerNode {
+		foot := rep.OwnedTilesPerNode[n] + rep.ReceivedTilesPerNode[n]
+		if peak > foot {
+			t.Errorf("node %d peak %d above whole-run footprint %d", n, peak, foot)
+		}
+		if peak < rep.OwnedTilesPerNode[n] {
+			t.Errorf("node %d peak %d below owned tiles %d", n, peak, rep.OwnedTilesPerNode[n])
+		}
+		sumPeak += peak
+		sumFoot += foot
+	}
+	if sumPeak >= sumFoot {
+		t.Errorf("total peak %d did not decrease below whole-run footprint %d", sumPeak, sumFoot)
+	}
+}

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"testing"
+	"time"
 
 	"anybc/internal/cluster"
 	"anybc/internal/dag"
@@ -9,18 +10,35 @@ import (
 	"anybc/internal/tile"
 )
 
+// testEngine builds one engine the way Run does, including the shared
+// output-version table.
+func testEngine(t *testing.T, rank int, cl *cluster.Cluster, g dag.Graph,
+	d dist.Distribution, b int, gen func(i, j int) *tile.Tile, kern Kernel) *engine {
+	t.Helper()
+	ver, err := prevalidate(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newEngine(rank, cl.Comm(rank), g, d, b, gen, kern, Options{Workers: 1}, ver, time.Now())
+}
+
 // TestDuplicateArrivalPanics exercises the protocol guard: a node receiving
 // the same tile version twice indicates a runtime bug and must panic loudly
-// rather than silently corrupt dependency counts.
+// rather than silently corrupt dependency counts. Distinct versions of the
+// same tile are legal under the versioned protocol — only an exact tag
+// repeat is a bug.
 func TestDuplicateArrivalPanics(t *testing.T) {
 	g := dag.NewLU(4)
 	d := dist.NewTwoDBC(2, 2)
 	cl := cluster.New(4)
 	defer cl.Close()
 	gen := GenDiagDominant(4, 3, 1)
-	e := newEngine(1, cl.Comm(1), g, d, 3, gen, LUKernel, 1)
+	e := testEngine(t, 1, cl, g, d, 3, gen, LUKernel)
 
-	msg := cluster.Message{From: 0, To: 1, Tag: cluster.Tag{I: 0, J: 0}, Payload: tile.New(3, 3)}
+	// Node 1 owns tile (0,1): its TRSMRow reads the GETRF output (0,0) at
+	// version 0, so the arrival is stored (readers > 0) and a repeat is a
+	// genuine duplicate.
+	msg := cluster.Message{From: 0, To: 1, Tag: cluster.Tag{I: 0, J: 0, V: 0}, Payload: tile.New(3, 3)}
 	e.onArrival(msg, nil)
 	defer func() {
 		if recover() == nil {
@@ -28,6 +46,26 @@ func TestDuplicateArrivalPanics(t *testing.T) {
 		}
 	}()
 	e.onArrival(msg, nil)
+}
+
+// TestUnconsumedArrivalDropped: a version no local task reads (a pure
+// ordering dependency) must be released immediately instead of retained.
+func TestUnconsumedArrivalDropped(t *testing.T) {
+	g := dag.NewLU(4)
+	d := dist.NewTwoDBC(2, 2)
+	cl := cluster.New(4)
+	defer cl.Close()
+	e := testEngine(t, 1, cl, g, d, 3, GenDiagDominant(4, 3, 1), LUKernel)
+
+	// Version 99 of tile (0,0) has no registered reader on node 1.
+	msg := cluster.Message{From: 0, To: 1, Tag: cluster.Tag{I: 0, J: 0, V: 99}, Payload: tile.New(3, 3)}
+	e.onArrival(msg, nil)
+	if len(e.recv) != 0 {
+		t.Fatalf("unconsumed arrival retained: %d tiles", len(e.recv))
+	}
+	if e.recvTotal != 1 {
+		t.Fatalf("recvTotal = %d, want 1", e.recvTotal)
+	}
 }
 
 // TestEngineOwnedDiscovery checks that engines partition the task set
@@ -41,7 +79,7 @@ func TestEngineOwnedDiscovery(t *testing.T) {
 	gen := GenSPD(6, 4, 2)
 	total := 0
 	for rank := 0; rank < d.Nodes(); rank++ {
-		e := newEngine(rank, cl.Comm(rank), g, d, 4, gen, CholeskyKernel, 1)
+		e := testEngine(t, rank, cl, g, d, 4, gen, CholeskyKernel)
 		total += len(e.owned)
 		for _, task := range e.owned {
 			oi, oj := g.OutputTile(task)
@@ -60,6 +98,22 @@ func TestEngineOwnedDiscovery(t *testing.T) {
 					rank, task, e.remaining[idx], g.NumDependencies(task))
 			}
 		}
+		// Reader counts cover exactly the remote input references.
+		remoteRefs := 0
+		for _, refs := range e.ins {
+			for _, ref := range refs {
+				if ref.remote {
+					remoteRefs++
+				}
+			}
+		}
+		sum := int32(0)
+		for _, n := range e.readers {
+			sum += n
+		}
+		if int(sum) != remoteRefs {
+			t.Fatalf("engine %d reader counts %d != remote input refs %d", rank, sum, remoteRefs)
+		}
 	}
 	if total != g.NumTasks() {
 		t.Fatalf("engines own %d tasks, graph has %d", total, g.NumTasks())
@@ -73,8 +127,7 @@ func TestEmptyEngineRuns(t *testing.T) {
 	d := dist.NewTwoDBC(1, 1)
 	cl := cluster.New(3)
 	defer cl.Close()
-	gen := GenDiagDominant(2, 3, 1)
-	e := newEngine(2, cl.Comm(2), g, d, 3, gen, LUKernel, 1)
+	e := testEngine(t, 2, cl, g, d, 3, GenDiagDominant(2, 3, 1), LUKernel)
 	if err := e.run(); err != nil {
 		t.Fatal(err)
 	}

@@ -70,14 +70,16 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 		speed = func(node int) float64 { return opt.NodeSpeed[node] }
 	}
 
-	// Owner of every task, by task id.
+	// Owner of every task, by task id. Dependency counts are int32: wide
+	// fan-in tasks (solve and GEMM graphs) can exceed 127 predecessors, which
+	// an int8 would silently wrap into a bogus "dependency deadlock".
 	ownerOf := make([]int32, n)
-	remaining := make([]int8, n)
+	remaining := make([]int32, n)
 	dag.ForEachTask(g, func(t dag.Task) {
 		id := g.ID(t)
 		oi, oj := g.OutputTile(t)
 		ownerOf[id] = int32(d.Owner(oi, oj))
-		remaining[id] = int8(g.NumDependencies(t))
+		remaining[id] = int32(g.NumDependencies(t))
 	})
 
 	// Per-node state.
@@ -194,7 +196,8 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 				// Sender NIC serialization, then latency, then receiver NIC.
 				msgBytes := sizeOf(t)
 				transferTime := float64(msgBytes) / m.LinkBandwidth
-				sendEnd := max64(now, nicOut[src]) + transferTime
+				depart := max64(now, nicOut[src])
+				sendEnd := depart + transferTime
 				nicOut[src] = sendEnd
 				if m.BisectionBandwidth > 0 {
 					// The message also crosses the shared fabric.
@@ -209,7 +212,10 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 				result.SentBytes[src] += int64(msgBytes)
 				result.RecvBytes[dst] += int64(msgBytes)
 				if opt.Recorder != nil {
-					opt.Recorder.RecordMessage(int(src), int(dst), sendEnd-transferTime, recvEnd, msgBytes)
+					// depart is the instant the message starts leaving the
+					// sender NIC — not sendEnd-transferTime, which the fabric
+					// serialization would shift forward.
+					opt.Recorder.RecordMessage(int(src), int(dst), depart, recvEnd, msgBytes)
 				}
 				events.push(event{time: recvEnd, kind: evArrival, node: dst, task: ev.task})
 			})

@@ -32,7 +32,10 @@ func TestRecorderConsistency(t *testing.T) {
 	if mk := rec.Makespan(); math.Abs(mk-res.Makespan) > 1e-9*res.Makespan {
 		t.Fatalf("trace makespan %v vs simulator %v", mk, res.Makespan)
 	}
-	busy := rec.BusyPerNode()
+	busy := rec.BusyPerNode(d.Nodes())
+	if len(busy) != d.Nodes() {
+		t.Fatalf("BusyPerNode length %d, want %d", len(busy), d.Nodes())
+	}
 	for n := range busy {
 		if math.Abs(busy[n]-res.BusyTime[n]) > 1e-9 {
 			t.Fatalf("node %d busy %v vs %v", n, busy[n], res.BusyTime[n])
@@ -44,7 +47,7 @@ func TestRecorderConsistency(t *testing.T) {
 		t.Fatalf("KindBreakdown = %v", kb)
 	}
 	// Utilization consistent with Result.Efficiency.
-	u := rec.Utilization(m.Workers)
+	u := rec.Utilization(m.Workers, d.Nodes())
 	sum := 0.0
 	for _, v := range u {
 		sum += v

@@ -1,15 +1,18 @@
-// Package trace records simulated execution timelines: one interval per
-// kernel execution (node, worker slot, task, start, end) and one per message
-// (source, destination, departure, arrival, bytes). Traces support the
-// Gantt-style analyses behind the paper's performance discussion — worker
-// utilization, idle-time attribution, and communication serialization — and
-// export as CSV for external plotting.
+// Package trace records execution timelines: one interval per kernel
+// execution (node, worker slot, task, start, end) and one per message
+// (source, destination, departure, arrival, bytes). Both the discrete-event
+// simulator and the real distributed runtime feed the same Recorder — the
+// simulator with model time, the runtime with wall-clock time — so traces
+// support the Gantt-style analyses behind the paper's performance discussion
+// (worker utilization, idle-time attribution, communication serialization)
+// for either substrate, and export as CSV for external plotting.
 package trace
 
 import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"anybc/internal/dag"
 )
@@ -28,21 +31,27 @@ type MessageEvent struct {
 	Bytes          int
 }
 
-// Recorder accumulates events during one simulation run. The simulator is
-// single-threaded, so no locking is needed.
+// Recorder accumulates events during one run. Recording is safe for
+// concurrent use — the real runtime records from every node's goroutines —
+// while the analysis methods expect recording to have finished.
 type Recorder struct {
+	mu       sync.Mutex
 	Tasks    []TaskEvent
 	Messages []MessageEvent
 }
 
 // RecordTask appends a kernel execution interval.
 func (r *Recorder) RecordTask(node, slot int, t dag.Task, start, end float64) {
+	r.mu.Lock()
 	r.Tasks = append(r.Tasks, TaskEvent{Node: node, Slot: slot, Task: t, Start: start, End: end})
+	r.mu.Unlock()
 }
 
 // RecordMessage appends a tile transfer.
 func (r *Recorder) RecordMessage(src, dst int, depart, arrive float64, bytes int) {
+	r.mu.Lock()
 	r.Messages = append(r.Messages, MessageEvent{Src: src, Dst: dst, Depart: depart, Arrive: arrive, Bytes: bytes})
+	r.mu.Unlock()
 }
 
 // Makespan returns the latest event end time.
@@ -61,16 +70,17 @@ func (r *Recorder) Makespan() float64 {
 	return m
 }
 
-// BusyPerNode returns the summed kernel time per node (indices up to the
-// largest node seen).
-func (r *Recorder) BusyPerNode() []float64 {
-	maxNode := -1
+// BusyPerNode returns the summed kernel time per node for a cluster of p
+// nodes: nodes that never ran a task — including trailing idle ones, which
+// sizing by the largest node seen would silently drop — report zero. The
+// output grows beyond p only if some event names a higher node.
+func (r *Recorder) BusyPerNode(p int) []float64 {
 	for _, e := range r.Tasks {
-		if e.Node > maxNode {
-			maxNode = e.Node
+		if e.Node >= p {
+			p = e.Node + 1
 		}
 	}
-	out := make([]float64, maxNode+1)
+	out := make([]float64, p)
 	for _, e := range r.Tasks {
 		out[e.Node] += e.End - e.Start
 	}
@@ -86,11 +96,12 @@ func (r *Recorder) KindBreakdown() map[string]float64 {
 	return out
 }
 
-// Utilization returns, for each node, the fraction of the makespan its
-// workers spent executing kernels, given the worker count per node.
-func (r *Recorder) Utilization(workers int) []float64 {
+// Utilization returns, for each of p nodes, the fraction of the makespan its
+// workers spent executing kernels, given the worker count per node. Idle
+// nodes report zero utilization rather than vanishing from the output.
+func (r *Recorder) Utilization(workers, p int) []float64 {
 	mk := r.Makespan()
-	busy := r.BusyPerNode()
+	busy := r.BusyPerNode(p)
 	out := make([]float64, len(busy))
 	if mk <= 0 || workers <= 0 {
 		return out

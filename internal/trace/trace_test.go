@@ -24,9 +24,32 @@ func TestMakespanAndBusy(t *testing.T) {
 	if mk := r.Makespan(); mk != 3 {
 		t.Fatalf("Makespan = %v, want 3", mk)
 	}
-	busy := r.BusyPerNode()
+	busy := r.BusyPerNode(2)
 	if len(busy) != 2 || busy[0] != 3 || busy[1] != 1.5 {
 		t.Fatalf("BusyPerNode = %v", busy)
+	}
+}
+
+// TestBusyPerNodeIdleNodes: trailing idle nodes must appear with zero busy
+// time instead of being truncated, and events beyond p still extend the
+// output.
+func TestBusyPerNodeIdleNodes(t *testing.T) {
+	r := sampleRecorder() // tasks on nodes 0 and 1 only
+	busy := r.BusyPerNode(5)
+	if len(busy) != 5 {
+		t.Fatalf("BusyPerNode(5) length %d, want 5", len(busy))
+	}
+	for n := 2; n < 5; n++ {
+		if busy[n] != 0 {
+			t.Fatalf("idle node %d busy %v, want 0", n, busy[n])
+		}
+	}
+	if got := r.BusyPerNode(1); len(got) != 2 {
+		t.Fatalf("BusyPerNode(1) length %d, want 2 (events beyond p)", len(got))
+	}
+	u := r.Utilization(1, 4)
+	if len(u) != 4 || u[2] != 0 || u[3] != 0 {
+		t.Fatalf("Utilization(1, 4) = %v, want trailing zeros", u)
 	}
 }
 
@@ -40,11 +63,11 @@ func TestKindBreakdown(t *testing.T) {
 
 func TestUtilization(t *testing.T) {
 	r := sampleRecorder()
-	u := r.Utilization(1)
+	u := r.Utilization(1, 2)
 	if math.Abs(u[0]-1) > 1e-12 || math.Abs(u[1]-0.5) > 1e-12 {
 		t.Fatalf("Utilization = %v", u)
 	}
-	if got := r.Utilization(0); got[0] != 0 {
+	if got := r.Utilization(0, 2); got[0] != 0 {
 		t.Fatal("zero workers should give zero utilization")
 	}
 }
