@@ -1,0 +1,169 @@
+// Command benchkernels measures the real-execution hot path — the sequential
+// tile kernels and the distributed LU runtime — and writes the results as
+// machine-readable JSON, so CI and performance investigations share one
+// artifact instead of scraping `go test -bench` logs.
+//
+// Usage:
+//
+//	benchkernels [-o BENCH_kernels.json] [-benchtime 1s] [-quick]
+//
+// Kernel entries report sustained GFlop/s at the paper's tile size (and a
+// cache-resident size for GEMM); the runtime entry reports allocations,
+// bytes and messages per full 44-node LU factorization, the quantities the
+// broadcast-once/pooled communication layer is meant to keep flat.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	rt "runtime"
+	"testing"
+	"time"
+
+	"anybc/internal/dist"
+	"anybc/internal/runtime"
+	"anybc/internal/tile"
+)
+
+// KernelResult is one sequential-kernel measurement.
+type KernelResult struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"` // square tile size
+	GFlops  float64 `json:"gflops"`
+	NsPerOp int64   `json:"ns_per_op"`
+}
+
+// RuntimeResult is the distributed-runtime measurement.
+type RuntimeResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Messages    int64  `json:"messages"`
+	PeakTiles   int    `json:"peak_tiles"`
+}
+
+// Output is the schema of BENCH_kernels.json.
+type Output struct {
+	GoVersion string         `json:"go_version"`
+	GOOS      string         `json:"goos"`
+	GOARCH    string         `json:"goarch"`
+	NumCPU    int            `json:"num_cpu"`
+	Kernels   []KernelResult `json:"kernels"`
+	Runtime   RuntimeResult  `json:"runtime"`
+}
+
+func gflops(r testing.BenchmarkResult, flopsPerOp float64) float64 {
+	if r.T <= 0 {
+		return 0
+	}
+	return flopsPerOp * float64(r.N) / r.T.Seconds() / 1e9
+}
+
+func benchKernel(name string, n int, flopsPerOp float64, op func()) KernelResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op()
+		}
+	})
+	fmt.Fprintf(os.Stderr, "%-24s %8.2f GFlop/s  (%d iter, %v/op)\n",
+		name, gflops(r, flopsPerOp), r.N, time.Duration(r.NsPerOp()))
+	return KernelResult{Name: name, N: n, GFlops: gflops(r, flopsPerOp), NsPerOp: r.NsPerOp()}
+}
+
+func randTile(n int, seed int64) *tile.Tile {
+	t := tile.New(n, n)
+	t.Random(rand.New(rand.NewSource(seed)))
+	return t
+}
+
+func main() {
+	testing.Init() // registers test.benchtime, which testing.Benchmark honors
+	out := flag.String("o", "BENCH_kernels.json", "output JSON path")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	quick := flag.Bool("quick", false, "single-iteration smoke run (CI)")
+	flag.Parse()
+	if *quick {
+		flag.Set("test.benchtime", "1x")
+	} else {
+		flag.Set("test.benchtime", benchtime.String())
+	}
+
+	const n = 500
+	x, y, z := randTile(n, 1), randTile(n, 2), randTile(n, 3)
+	sx, sy, sz := randTile(128, 4), randTile(128, 5), randTile(128, 6)
+	tri := randTile(n, 7)
+	for i := 0; i < n; i++ {
+		tri.Set(i, i, 3)
+	}
+
+	var res Output
+	res.GoVersion = rt.Version()
+	res.GOOS, res.GOARCH = rt.GOOS, rt.GOARCH
+	res.NumCPU = rt.NumCPU()
+
+	res.Kernels = append(res.Kernels,
+		benchKernel("Gemm500", n, tile.FlopsGemm(n), func() {
+			tile.Gemm(tile.NoTrans, tile.NoTrans, -1, x, y, 1, z)
+		}),
+		benchKernel("Gemm128", 128, tile.FlopsGemm(128), func() {
+			tile.Gemm(tile.NoTrans, tile.NoTrans, -1, sx, sy, 1, sz)
+		}),
+		benchKernel("GemmTransB500", n, tile.FlopsGemm(n), func() {
+			tile.Gemm(tile.NoTrans, tile.TransT, -1, x, y, 1, z)
+		}),
+		benchKernel("Syrk500", n, tile.FlopsSyrk(n), func() {
+			tile.Syrk(tile.Lower, tile.NoTrans, -1, x, 1, z)
+		}),
+		benchKernel("Trsm500", n, tile.FlopsTrsm(n), func() {
+			tile.Trsm(tile.Left, tile.Lower, tile.NoTrans, tile.NonUnit, 1, tri, z)
+		}),
+	)
+
+	// Distributed LU on the paper's 44-node cluster size: the allocation
+	// numbers are the broadcast-once/pooling regression signal.
+	const mt, bs = 24, 8
+	d := dist.NewG2DBC(44)
+	gen := runtime.GenDiagDominant(mt, bs, 17)
+	var rep *runtime.Report
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, rep, err = runtime.FactorLU(mt, bs, d, gen, runtime.Options{Workers: 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	peak := 0
+	for _, pk := range rep.PeakTilesPerNode {
+		peak += pk
+	}
+	res.Runtime = RuntimeResult{
+		Name:        "RuntimeLU44",
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Messages:    rep.Stats.TotalMessages(),
+		PeakTiles:   peak,
+	}
+	fmt.Fprintf(os.Stderr, "%-24s %v/op  %d allocs/op  %d B/op  %d msgs\n",
+		res.Runtime.Name, time.Duration(res.Runtime.NsPerOp),
+		res.Runtime.AllocsPerOp, res.Runtime.BytesPerOp, res.Runtime.Messages)
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

@@ -32,11 +32,40 @@ type Tag struct {
 // Message is one tile in flight. SentAt is the wall-clock instant the sender
 // published it, so receivers can attribute transfer intervals in real-run
 // traces.
+//
+// A broadcast (SendAll) delivers the same immutable payload tile to every
+// destination: receivers must treat Payload as read-only and call Release
+// when done with it, which returns the buffer to the cluster's pool after
+// the last recipient lets go.
 type Message struct {
 	From, To int
 	Tag      Tag
 	Payload  *tile.Tile
 	SentAt   time.Time
+	shared   *sharedPayload // nil for hand-built messages (tests)
+}
+
+// sharedPayload reference-counts one broadcast payload across its
+// recipients.
+type sharedPayload struct {
+	pool *tile.Pool
+	t    *tile.Tile
+	refs atomic.Int32
+}
+
+// Release declares this recipient done with the message payload. Once every
+// recipient of the broadcast has released it, the buffer returns to the
+// cluster's tile pool for reuse by later sends. The payload must not be
+// touched after Release; calling Release more than once per received message
+// corrupts the refcount. No-op on hand-built messages.
+func (m *Message) Release() {
+	if m.shared == nil {
+		return
+	}
+	if m.shared.refs.Add(-1) == 0 {
+		m.shared.pool.Put(m.shared.t)
+	}
+	m.shared = nil
 }
 
 // mailbox is an unbounded FIFO queue; Send never blocks, which (together
@@ -54,13 +83,17 @@ func newMailbox() *mailbox {
 	return m
 }
 
-func (m *mailbox) put(msg Message) {
+// put enqueues msg and reports whether it was accepted; a closed mailbox
+// (normal shutdown or abort) drops messages.
+func (m *mailbox) put(msg Message) bool {
 	m.mu.Lock()
-	if !m.closed {
+	ok := !m.closed
+	if ok {
 		m.queue = append(m.queue, msg)
 	}
 	m.mu.Unlock()
 	m.cond.Signal()
+	return ok
 }
 
 // get blocks until a message is available or the mailbox is closed.
@@ -93,6 +126,7 @@ type Cluster struct {
 	inboxes  []*mailbox
 	messages []atomic.Int64 // p*p counters, src*p+dst
 	bytes    []atomic.Int64
+	pool     tile.Pool // recycles send clones released by receivers
 }
 
 // New creates a cluster of p nodes.
@@ -146,15 +180,52 @@ func (c *Comm) Size() int { return c.cluster.p }
 // the sender may keep using its buffer. Self-sends are rejected: the runtime
 // must short-circuit local data.
 func (c *Comm) Send(dst int, tag Tag, payload *tile.Tile) {
-	if dst == c.rank {
-		panic("cluster: self-send; local data must not go through the network")
+	c.sendAll([]int{dst}, tag, payload)
+}
+
+// SendAll publishes one tile version to every listed destination, cloning
+// the payload once for the whole broadcast instead of once per destination:
+// kernel inputs are read-only, so all recipients share the same immutable
+// buffer, which returns to the cluster's pool after the last Release. The
+// traffic counters still count one point-to-point message per destination —
+// the communication-volume semantics the integration tests check are
+// unchanged. Destinations must be distinct; self-sends are rejected.
+func (c *Comm) SendAll(dsts []int, tag Tag, payload *tile.Tile) {
+	if len(dsts) == 0 {
+		return
 	}
+	c.sendAll(dsts, tag, payload)
+}
+
+func (c *Comm) sendAll(dsts []int, tag Tag, payload *tile.Tile) {
 	cl := c.cluster
-	msg := Message{From: c.rank, To: dst, Tag: tag, Payload: payload.Clone(), SentAt: time.Now()}
-	idx := c.rank*cl.p + dst
-	cl.messages[idx].Add(1)
-	cl.bytes[idx].Add(int64(payload.Bytes()))
-	cl.inboxes[dst].put(msg)
+	cp := cl.pool.Clone(payload)
+	sh := &sharedPayload{pool: &cl.pool, t: cp}
+	sh.refs.Store(int32(len(dsts)))
+	now := time.Now()
+	bytes := int64(payload.Bytes())
+	for _, dst := range dsts {
+		if dst == c.rank {
+			panic("cluster: self-send; local data must not go through the network")
+		}
+		idx := c.rank*cl.p + dst
+		cl.messages[idx].Add(1)
+		cl.bytes[idx].Add(bytes)
+		msg := Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: now, shared: sh}
+		if !cl.inboxes[dst].put(msg) {
+			// Dropped on a closed mailbox (shutdown/abort): release the
+			// recipient's share ourselves.
+			msg.Release()
+		}
+	}
+}
+
+// Abort poisons the whole cluster: every mailbox closes, so all blocked
+// receivers on every node wake up with ok == false. The runtime uses this to
+// propagate a kernel failure — peers waiting for tiles that will never be
+// produced must not hang. Idempotent, and equivalent to Cluster.Close.
+func (c *Comm) Abort() {
+	c.cluster.Close()
 }
 
 // Recv blocks until a message arrives; ok is false once the cluster is

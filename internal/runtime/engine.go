@@ -32,6 +32,22 @@
 // growing with the whole run's traffic (the block-lifetime discipline of
 // DBCSR-style runtimes). Report.PeakTilesPerNode exposes the high-water mark.
 //
+// Communication allocates once per published tile version, not once per
+// destination: a completion broadcasts its output through cluster.SendAll,
+// every consumer node shares the same immutable clone, and the buffer
+// returns to the cluster's shape-keyed pool (tile.Pool) when the last
+// consumer releases it — so steady-state runs recycle a small set of
+// message buffers instead of churning one allocation per message.
+//
+// # Failure propagation
+//
+// The first kernel error on any node aborts the whole run: the failing node
+// stops dispatching, suppresses the failed task's publication (no post-error
+// tile reaches a remote consumer), and poisons the cluster so every peer
+// blocked on tiles that will never be produced wakes up promptly. Run then
+// reports the errors of all failing nodes joined together, with nodes that
+// merely aborted on a peer's behalf folded in as context.
+//
 // # Tracing
 //
 // When Options.Recorder is set, the run records wall-clock kernel intervals
@@ -41,6 +57,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -55,6 +72,12 @@ import (
 // Kernel applies one task: out is the task's output tile (updated in place),
 // inputs are the tiles listed by Graph.InputTiles in visit order.
 type Kernel func(t dag.Task, out *tile.Tile, inputs []*tile.Tile) error
+
+// ErrPeerAborted is the error a node reports when it abandoned its remaining
+// tasks because another node poisoned the cluster after a kernel failure.
+// Run folds these into the failing nodes' root-cause errors rather than
+// repeating one line per bystander rank.
+var ErrPeerAborted = errors.New("aborted: a peer node failed")
 
 // Options tunes the engine.
 type Options struct {
@@ -129,10 +152,32 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 	cl.Close()
 	elapsed := time.Since(start)
 
+	// Report every node's failure, not just the lowest rank's. Nodes that
+	// aborted because a peer poisoned the cluster carry ErrPeerAborted; when
+	// a root-cause kernel error exists they are folded into one summary line
+	// instead of repeated per rank.
+	var nodeErrs []error
+	peerAborts := 0
 	for rank, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("runtime: node %d: %w", rank, err)
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, ErrPeerAborted) {
+			peerAborts++
+			continue
+		}
+		nodeErrs = append(nodeErrs, fmt.Errorf("node %d: %w", rank, err))
+	}
+	if len(nodeErrs) == 0 && peerAborts > 0 {
+		// Should not happen (some node poisoned the cluster), but never
+		// swallow an abort silently.
+		nodeErrs = append(nodeErrs, ErrPeerAborted)
+	}
+	if len(nodeErrs) > 0 {
+		if peerAborts > 0 {
+			nodeErrs = append(nodeErrs, fmt.Errorf("%d node(s) aborted: %w", peerAborts, ErrPeerAborted))
+		}
+		return nil, fmt.Errorf("runtime: %w", errors.Join(nodeErrs...))
 	}
 
 	rep := &Report{
@@ -169,8 +214,10 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 }
 
 type event struct {
-	// Exactly one of the two is meaningful.
+	// Exactly one of completed/msg is meaningful. err carries the kernel
+	// failure of the completed task, if any.
 	completed int // local task index, or -1
+	err       error
 	msg       cluster.Message
 }
 
@@ -198,13 +245,19 @@ type engine struct {
 	localIdx  map[int]int // graph task id -> index in owned
 	remaining []int32
 	ins       [][]inputRef // per owned task, in InputTiles visit order
+	inbuf     [][]*tile.Tile
 	waiters   map[cluster.Tag][]int
 	// tiles holds the owned tiles, keyed at version 0: the in-place buffers
 	// the owner's writer chain updates. recv holds received remote versions,
-	// each retained until readers[tag] consumers have run.
+	// each retained (and its message released back to the cluster pool) until
+	// readers[tag] consumers have run.
 	tiles   map[cluster.Tag]*tile.Tile
-	recv    map[cluster.Tag]*tile.Tile
+	recv    map[cluster.Tag]cluster.Message
 	readers map[cluster.Tag]int32
+	// dstList/dstSeen are reusable scratch for collecting the distinct
+	// destination nodes of one completion's broadcast.
+	dstList []int
+	dstSeen []bool
 
 	flops      float64
 	ownedTiles int
@@ -230,8 +283,10 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 		localIdx: make(map[int]int),
 		waiters:  make(map[cluster.Tag][]int),
 		tiles:    make(map[cluster.Tag]*tile.Tile),
-		recv:     make(map[cluster.Tag]*tile.Tile),
+		recv:     make(map[cluster.Tag]cluster.Message),
 		readers:  make(map[cluster.Tag]int32),
+		dstList:  make([]int, 0, comm.Size()),
+		dstSeen:  make([]bool, comm.Size()),
 	}
 	if e.workers <= 0 {
 		e.workers = 1
@@ -279,11 +334,26 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 			e.readers[tag]++
 		})
 	}
+	// One flat backing array for every task's kernel-input slice, so dispatch
+	// allocates nothing per task.
+	refsTotal := 0
+	for _, refs := range e.ins {
+		refsTotal += len(refs)
+	}
+	flat := make([]*tile.Tile, refsTotal)
+	e.inbuf = make([][]*tile.Tile, len(e.owned))
+	off := 0
+	for idx, refs := range e.ins {
+		e.inbuf[idx] = flat[off : off+len(refs) : off+len(refs)]
+		off += len(refs)
+	}
 	return e
 }
 
 // run executes this node's share of the graph and returns when every owned
-// task has completed.
+// task has completed, or promptly once the run aborts: a local kernel error
+// poisons the cluster and is returned; a poisoned cluster observed while work
+// is still outstanding means a peer failed, and ErrPeerAborted is returned.
 func (e *engine) run() error {
 	total := len(e.owned)
 	if total == 0 {
@@ -291,7 +361,8 @@ func (e *engine) run() error {
 	}
 
 	events := make(chan event, e.workers+4)
-	// Receiver: forwards network messages into the event loop.
+	// Receiver: forwards network messages into the event loop; recvDone
+	// closing signals the cluster itself has been closed (shutdown or abort).
 	recvDone := make(chan struct{})
 	go func() {
 		defer close(recvDone)
@@ -310,8 +381,6 @@ func (e *engine) run() error {
 		inputs []*tile.Tile
 	}
 	work := make(chan job, e.workers)
-	var kernErr error
-	var kernErrOnce sync.Once
 	var workerWG sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		workerWG.Add(1)
@@ -319,14 +388,12 @@ func (e *engine) run() error {
 			defer workerWG.Done()
 			for jb := range work {
 				start := time.Now()
-				if err := e.kern(e.owned[jb.idx], jb.out, jb.inputs); err != nil {
-					kernErrOnce.Do(func() { kernErr = err })
-				}
+				err := e.kern(e.owned[jb.idx], jb.out, jb.inputs)
 				if e.rec != nil {
 					e.rec.RecordTask(e.rank, slot, e.owned[jb.idx],
 						start.Sub(e.epoch).Seconds(), time.Since(e.epoch).Seconds())
 				}
-				events <- event{completed: jb.idx}
+				events <- event{completed: jb.idx, err: err}
 			}
 		}(w)
 	}
@@ -342,14 +409,15 @@ func (e *engine) run() error {
 		t := e.owned[idx]
 		oi, oj := e.g.OutputTile(t)
 		out := e.tiles[cluster.Tag{I: int32(oi), J: int32(oj)}]
-		refs := e.ins[idx]
-		inputs := make([]*tile.Tile, len(refs))
-		for k, ref := range refs {
-			in, ok := e.tiles[ref.tag], true
+		inputs := e.inbuf[idx]
+		for k, ref := range e.ins[idx] {
+			var in *tile.Tile
 			if ref.remote {
-				in, ok = e.recv[ref.tag]
+				in = e.recv[ref.tag].Payload
+			} else {
+				in = e.tiles[ref.tag]
 			}
-			if !ok || in == nil {
+			if in == nil {
 				panic(fmt.Sprintf("runtime: node %d: input tile %v of %v missing", e.rank, ref.tag, t))
 			}
 			inputs[k] = in
@@ -357,36 +425,84 @@ func (e *engine) run() error {
 		work <- job{idx: idx, out: out, inputs: inputs}
 	}
 
+	var abortErr error
+	aborted := false
+	recvClosed := recvDone // nilled after firing so the select stops spinning
 	done, inflight := 0, 0
-	for done < total {
-		for len(ready) > 0 && inflight < e.workers {
-			idx := ready[len(ready)-1]
-			ready = ready[:len(ready)-1]
-			dispatch(idx)
-			inflight++
-		}
-		ev := <-events
-		if ev.completed >= 0 {
-			inflight--
-			done++
-			ready = e.onComplete(ev.completed, ready)
+	for {
+		if aborted {
+			// Abort: no new dispatches; wait only for already-running kernels.
+			if inflight == 0 {
+				break
+			}
 		} else {
-			ready = e.onArrival(ev.msg, ready)
+			for len(ready) > 0 && inflight < e.workers {
+				idx := ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				dispatch(idx)
+				inflight++
+			}
+			if done == total {
+				break
+			}
+		}
+		select {
+		case ev := <-events:
+			switch {
+			case ev.completed < 0:
+				if aborted {
+					ev.msg.Release()
+				} else {
+					ready = e.onArrival(ev.msg, ready)
+				}
+			default:
+				inflight--
+				done++
+				if ev.err != nil {
+					if !aborted {
+						// First local kernel failure: record the root cause,
+						// stop dispatching, and poison the cluster so peers
+						// blocked on tiles we will never produce wake up. The
+						// failed task's output is never published.
+						aborted = true
+						abortErr = fmt.Errorf("%v: %w", e.owned[ev.completed], ev.err)
+						e.comm.Abort()
+					} else if errors.Is(abortErr, ErrPeerAborted) {
+						// This node failed too, it just noticed the peer's
+						// poison first: its own kernel error is the better
+						// root cause than the bystander sentinel.
+						abortErr = fmt.Errorf("%v: %w", e.owned[ev.completed], ev.err)
+					}
+				} else if !aborted {
+					ready = e.onComplete(ev.completed, ready)
+				}
+				// Completions after the abort are suppressed entirely: no
+				// successor release, no sends.
+			}
+		case <-recvClosed:
+			recvClosed = nil
+			if !aborted {
+				// The cluster was poisoned while we still have unfinished
+				// work: a peer failed.
+				aborted = true
+				abortErr = ErrPeerAborted
+			}
 		}
 	}
 	close(work)
 	workerWG.Wait()
-	// Absorb any late messages until the cluster is closed, so remote senders
-	// and our receiver goroutine can always make progress.
+	// Absorb (and release) any late messages until the cluster is closed, so
+	// remote senders and our receiver goroutine can always make progress.
 	go func() {
-		for range events {
+		for ev := range events {
+			ev.msg.Release()
 		}
 	}()
 	go func() {
 		<-recvDone
 		close(events)
 	}()
-	return kernErr
+	return abortErr
 }
 
 // onComplete publishes a finished task: releases local successors, sends the
@@ -400,7 +516,7 @@ func (e *engine) onComplete(idx int, ready []int) []int {
 	out := e.tiles[cluster.Tag{I: int32(oi), J: int32(oj)}]
 	netTag := cluster.Tag{I: int32(oi), J: int32(oj), V: v}
 
-	sent := map[int]bool{}
+	e.dstList = e.dstList[:0]
 	e.g.Successors(t, func(s dag.Task) {
 		si, sj := e.g.OutputTile(s)
 		dst := e.owner(si, sj)
@@ -412,21 +528,33 @@ func (e *engine) onComplete(idx int, ready []int) []int {
 			}
 			return
 		}
-		if !sent[dst] {
-			sent[dst] = true
-			e.comm.Send(dst, netTag, out)
+		if !e.dstSeen[dst] {
+			e.dstSeen[dst] = true
+			e.dstList = append(e.dstList, dst)
 		}
 	})
+	if len(e.dstList) > 0 {
+		// One broadcast, one clone: every consumer node shares the same
+		// immutable payload (see cluster.SendAll).
+		e.comm.SendAll(e.dstList, netTag, out)
+		for _, dst := range e.dstList {
+			e.dstSeen[dst] = false
+		}
+	}
 
 	// Last-reader release: drop received copies this task consumed once no
-	// other local task still needs them.
+	// other local task still needs them, returning their buffers to the
+	// cluster pool.
 	for _, ref := range e.ins[idx] {
 		if !ref.remote {
 			continue
 		}
 		if e.readers[ref.tag]--; e.readers[ref.tag] <= 0 {
 			delete(e.readers, ref.tag)
-			delete(e.recv, ref.tag)
+			if m, ok := e.recv[ref.tag]; ok {
+				m.Release()
+				delete(e.recv, ref.tag)
+			}
 		}
 	}
 	return ready
@@ -449,10 +577,12 @@ func (e *engine) onArrival(msg cluster.Message, ready []int) []int {
 			msg.Payload.Bytes())
 	}
 	if e.readers[msg.Tag] > 0 {
-		e.recv[msg.Tag] = msg.Payload
+		e.recv[msg.Tag] = msg
 		if held := e.ownedTiles + len(e.recv); held > e.peakTiles {
 			e.peakTiles = held
 		}
+	} else {
+		msg.Release()
 	}
 	for _, idx := range e.waiters[msg.Tag] {
 		e.remaining[idx]--

@@ -38,7 +38,9 @@ func opDims(t Trans, a *Tile) (rows, cols int) {
 }
 
 // Gemm computes C = alpha·op(A)·op(B) + beta·C, the general tile update
-// kernel (the dominant task of both factorizations).
+// kernel (the dominant task of both factorizations). Large tiles go through
+// the cache-blocked, register-tiled panel kernel (gemm_blocked.go); small
+// tiles use direct loops where packing overhead would dominate.
 func Gemm(transA, transB Trans, alpha float64, a, b *Tile, beta float64, c *Tile) {
 	m, k := opDims(transA, a)
 	k2, n := opDims(transB, b)
@@ -46,7 +48,13 @@ func Gemm(transA, transB Trans, alpha float64, a, b *Tile, beta float64, c *Tile
 		panic(fmt.Sprintf("tile: Gemm shape mismatch: op(A)=%dx%d op(B)=%dx%d C=%dx%d",
 			m, k, k2, n, c.Rows, c.Cols))
 	}
-	if beta != 1 {
+	switch {
+	case beta == 0:
+		// Explicit zero-fill: with beta == 0 the old contents of C must not
+		// contribute at all, even when they are NaN or Inf (0·NaN = NaN
+		// would otherwise leak through the scaling path).
+		c.Zero()
+	case beta != 1:
 		for i := range c.Data {
 			c.Data[i] *= beta
 		}
@@ -54,6 +62,19 @@ func Gemm(transA, transB Trans, alpha float64, a, b *Tile, beta float64, c *Tile
 	if alpha == 0 {
 		return
 	}
+	if m*n*k < gemmSmallVolume {
+		gemmSmall(transA, transB, alpha, a, b, c, m, n, k)
+		return
+	}
+	gemmView(alpha,
+		opView{data: a.Data, ld: a.Cols, trans: transA == TransT},
+		opView{data: b.Data, ld: b.Cols, trans: transB == TransT},
+		m, n, k, c.Data, c.Cols)
+}
+
+// gemmSmall handles tiles too small to amortize panel packing: the direct
+// loop orders, row-sliced where the layout allows.
+func gemmSmall(transA, transB Trans, alpha float64, a, b *Tile, c *Tile, m, n, k int) {
 	switch {
 	case transA == NoTrans && transB == NoTrans:
 		// i-k-j order with row slices: streams B and C rows.
@@ -115,39 +136,108 @@ func Gemm(transA, transB Trans, alpha float64, a, b *Tile, beta float64, c *Tile
 	}
 }
 
+// syrkBlock is the column-block width of the SYRK driver: off-diagonal
+// column panels go through the blocked GEMM kernel, only the small triangle
+// straddling the diagonal runs the scalar dot loops.
+const syrkBlock = 64
+
 // Syrk computes the symmetric rank-k update C = alpha·op(A)·op(A)ᵀ + beta·C,
 // writing only the uplo triangle of C (including the diagonal). With
 // trans == NoTrans, op(A) = A; with TransT, op(A) = Aᵀ.
+//
+// The rows of op(A) are accessed as direct contiguous slices: for TransT the
+// transpose is packed once into a pooled buffer (the transposed fast path),
+// so no per-element accessors run in the inner loops.
 func Syrk(uplo Uplo, trans Trans, alpha float64, a *Tile, beta float64, c *Tile) {
 	n, k := opDims(trans, a)
 	if c.Rows != n || c.Cols != n {
 		panic(fmt.Sprintf("tile: Syrk shape mismatch: op(A)=%dx%d C=%dx%d", n, k, c.Rows, c.Cols))
 	}
-	row := func(i int) func(l int) float64 {
-		if trans == NoTrans {
-			r := a.Row(i)
-			return func(l int) float64 { return r[l] }
-		}
-		return func(l int) float64 { return a.At(l, i) }
-	}
-	for i := 0; i < n; i++ {
-		var jLo, jHi int
-		if uplo == Lower {
-			jLo, jHi = 0, i
-		} else {
-			jLo, jHi = i, n-1
-		}
-		ri := row(i)
-		for j := jLo; j <= jHi; j++ {
-			rj := row(j)
-			s := 0.0
-			for l := 0; l < k; l++ {
-				s += ri(l) * rj(l)
+	// Apply beta to the written triangle only, with the same 0·NaN guard as
+	// Gemm.
+	if beta != 1 {
+		for i := 0; i < n; i++ {
+			var row []float64
+			if uplo == Lower {
+				row = c.Row(i)[:i+1]
+			} else {
+				row = c.Row(i)[i:]
 			}
-			c.Set(i, j, alpha*s+beta*c.At(i, j))
+			if beta == 0 {
+				for j := range row {
+					row[j] = 0
+				}
+			} else {
+				for j := range row {
+					row[j] *= beta
+				}
+			}
+		}
+	}
+	if alpha == 0 {
+		return
+	}
+
+	// ad/lda view op(A) row-major: rows are contiguous slices of length k.
+	ad, lda := a.Data, a.Cols
+	if trans == TransT {
+		buf := getPackBuf(n * k)
+		t := *buf
+		for l := 0; l < k; l++ {
+			src := a.Row(l)
+			for i, v := range src {
+				t[i*k+l] = v
+			}
+		}
+		ad, lda = t, k
+		defer packBuf.Put(buf)
+	}
+
+	for j0 := 0; j0 < n; j0 += syrkBlock {
+		j1 := j0 + syrkBlock
+		if j1 > n {
+			j1 = n
+		}
+		// Off-diagonal panel: a plain GEMM block C[rows][j0:j1] +=
+		// alpha·op(A)[rows]·op(A)[j0:j1]ᵀ through the blocked kernel.
+		rows := opView{data: ad[j0*lda:], ld: lda, trans: true}
+		if uplo == Lower && j1 < n {
+			gemmView(alpha,
+				opView{data: ad[j1*lda:], ld: lda},
+				rows,
+				n-j1, j1-j0, k, c.Data[j1*c.Cols+j0:], c.Cols)
+		}
+		if uplo == Upper && j0 > 0 {
+			gemmView(alpha,
+				opView{data: ad, ld: lda},
+				rows,
+				j0, j1-j0, k, c.Data[j0:], c.Cols)
+		}
+		// Diagonal triangle: scalar dot products over contiguous rows.
+		for i := j0; i < j1; i++ {
+			ri := ad[i*lda : i*lda+k]
+			crow := c.Row(i)
+			var lo, hi int
+			if uplo == Lower {
+				lo, hi = j0, i
+			} else {
+				lo, hi = i, j1-1
+			}
+			for j := lo; j <= hi; j++ {
+				rj := ad[j*lda : j*lda+k]
+				s := 0.0
+				for l, v := range ri {
+					s += v * rj[l]
+				}
+				crow[j] += alpha * s
+			}
 		}
 	}
 }
+
+// trsmRB is the row-block width of the right-side TRSM: each row of op(A)
+// streams once per block of B rows instead of once per row.
+const trsmRB = 8
 
 // Trsm solves a triangular system in place:
 //
@@ -172,16 +262,22 @@ func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Til
 			b.Data[i] *= alpha
 		}
 	}
-	// Effective orientation: transposing a triangular matrix flips its uplo
-	// and reflects its indices.
-	at := func(i, j int) float64 {
-		if trans == NoTrans {
-			return a.At(i, j)
-		}
-		return a.At(j, i)
-	}
+	// Work on op(A) directly: for TransT pack the transpose once into a
+	// pooled buffer so every inner loop runs over contiguous rows of the
+	// effective matrix. Transposing a triangular matrix flips its uplo.
+	ad, lda := a.Data, a.Cols
 	effUplo := uplo
 	if trans == TransT {
+		buf := getPackBuf(n * n)
+		t := *buf
+		for i := 0; i < n; i++ {
+			src := a.Row(i)
+			for j, v := range src {
+				t[j*n+i] = v
+			}
+		}
+		ad, lda = t, n
+		defer packBuf.Put(buf)
 		if uplo == Lower {
 			effUplo = Upper
 		} else {
@@ -194,8 +290,9 @@ func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Til
 		// Forward substitution on each column of B, row-sliced.
 		for i := 0; i < n; i++ {
 			bi := b.Row(i)
+			ai := ad[i*lda : i*lda+n]
 			for k := 0; k < i; k++ {
-				f := at(i, k)
+				f := ai[k]
 				if f == 0 {
 					continue
 				}
@@ -205,7 +302,7 @@ func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Til
 				}
 			}
 			if diag == NonUnit {
-				d := at(i, i)
+				d := ai[i]
 				for j := range bi {
 					bi[j] /= d
 				}
@@ -214,8 +311,9 @@ func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Til
 	case side == Left && effUplo == Upper:
 		for i := n - 1; i >= 0; i-- {
 			bi := b.Row(i)
+			ai := ad[i*lda : i*lda+n]
 			for k := i + 1; k < n; k++ {
-				f := at(i, k)
+				f := ai[k]
 				if f == 0 {
 					continue
 				}
@@ -225,47 +323,65 @@ func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Til
 				}
 			}
 			if diag == NonUnit {
-				d := at(i, i)
+				d := ai[i]
 				for j := range bi {
 					bi[j] /= d
 				}
 			}
 		}
 	case side == Right && effUplo == Lower:
-		// X·A = B with A lower: solve columns right to left.
-		for j := n - 1; j >= 0; j-- {
-			if diag == NonUnit {
-				d := at(j, j)
-				for i := 0; i < b.Rows; i++ {
-					b.Set(i, j, b.At(i, j)/d)
-				}
+		// X·A = B with A lower: each B row solves independently, columns
+		// right to left; rows run in blocks so every op(A) row streams once
+		// per block instead of once per B row.
+		for r0 := 0; r0 < b.Rows; r0 += trsmRB {
+			r1 := r0 + trsmRB
+			if r1 > b.Rows {
+				r1 = b.Rows
 			}
-			for k := 0; k < j; k++ {
-				f := at(j, k)
-				if f == 0 {
-					continue
-				}
-				for i := 0; i < b.Rows; i++ {
-					b.Set(i, k, b.At(i, k)-b.At(i, j)*f)
+			for j := n - 1; j >= 0; j-- {
+				aj := ad[j*lda : j*lda+n]
+				d := aj[j]
+				for r := r0; r < r1; r++ {
+					br := b.Row(r)
+					if diag == NonUnit {
+						br[j] /= d
+					}
+					f := br[j]
+					if f == 0 {
+						continue
+					}
+					head := br[:j]
+					ah := aj[:j]
+					for idx := range head {
+						head[idx] -= f * ah[idx]
+					}
 				}
 			}
 		}
 	default: // side == Right && effUplo == Upper
-		// X·A = B with A upper: solve columns left to right.
-		for j := 0; j < n; j++ {
-			if diag == NonUnit {
-				d := at(j, j)
-				for i := 0; i < b.Rows; i++ {
-					b.Set(i, j, b.At(i, j)/d)
-				}
+		// X·A = B with A upper: columns left to right, same row blocking.
+		for r0 := 0; r0 < b.Rows; r0 += trsmRB {
+			r1 := r0 + trsmRB
+			if r1 > b.Rows {
+				r1 = b.Rows
 			}
-			for k := j + 1; k < n; k++ {
-				f := at(j, k)
-				if f == 0 {
-					continue
-				}
-				for i := 0; i < b.Rows; i++ {
-					b.Set(i, k, b.At(i, k)-b.At(i, j)*f)
+			for j := 0; j < n; j++ {
+				aj := ad[j*lda : j*lda+n]
+				d := aj[j]
+				for r := r0; r < r1; r++ {
+					br := b.Row(r)
+					if diag == NonUnit {
+						br[j] /= d
+					}
+					f := br[j]
+					if f == 0 {
+						continue
+					}
+					tail := br[j+1:]
+					at := aj[j+1:]
+					for idx := range tail {
+						tail[idx] -= f * at[idx]
+					}
 				}
 			}
 		}

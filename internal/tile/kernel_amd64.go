@@ -1,0 +1,35 @@
+//go:build amd64
+
+package tile
+
+// The amd64 microkernel shape: a 4×8 block of C accumulated in eight YMM
+// registers by the AVX2+FMA kernel (kernel_amd64.s). CPUs without AVX2/FMA
+// (or builds where the OS masks YMM state) fall back to the scalar block.
+const (
+	gemmMR = 4
+	gemmNR = 8
+)
+
+// hasAVX2FMA is probed once at startup via CPUID/XGETBV.
+var hasAVX2FMA = cpuHasAVX2FMA()
+
+// cpuHasAVX2FMA reports whether the CPU and OS support AVX2 and FMA3
+// (implemented in kernel_amd64.s).
+func cpuHasAVX2FMA() bool
+
+// fmaMicro4x8 computes C[r][0:8] += alpha·Σ_l ap[l·4+r]·bp[l·8+0:8] for
+// r = 0..3, where C starts at c with leading dimension ldc (elements).
+// Implemented in kernel_amd64.s; requires AVX2+FMA.
+//
+//go:noescape
+func fmaMicro4x8(ap, bp *float64, kb int, alpha float64, c *float64, ldc int)
+
+// microKernel applies one gemmMR×gemmNR register-tiled block update over
+// packed strips ap (MR-interleaved) and bp (NR-interleaved).
+func microKernel(ap, bp []float64, kb int, alpha float64, c []float64, ldc int) {
+	if hasAVX2FMA && kb > 0 {
+		fmaMicro4x8(&ap[0], &bp[0], kb, alpha, &c[0], ldc)
+		return
+	}
+	microScalar(ap, bp, kb, alpha, c, ldc)
+}

@@ -1,0 +1,115 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuHasAVX2FMA() bool
+//
+// CPUID feature probe: FMA3 + AVX (leaf 1 ECX), OS YMM state (OSXSAVE +
+// XGETBV XCR0 bits 1:2), AVX2 (leaf 7 EBX bit 5).
+TEXT ·cpuHasAVX2FMA(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, DI
+	ANDL $(1<<12 | 1<<27 | 1<<28), DI // FMA | OSXSAVE | AVX
+	CMPL DI, $(1<<12 | 1<<27 | 1<<28)
+	JNE  no
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX // XCR0: XMM|YMM state enabled by the OS
+	CMPL AX, $6
+	JNE  no
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX // AVX2
+	JZ   no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func fmaMicro4x8(ap, bp *float64, kb int, alpha float64, c *float64, ldc int)
+//
+// The register-tiled GEMM microkernel: a 4×8 block of C lives in Y0..Y7
+// while the loop streams one packed A strip (4-interleaved) and one packed
+// B strip (8-interleaved), issuing 8 FMAs per depth step. The write-back
+// folds alpha in: C[r][0:8] += alpha·acc[r].
+TEXT ·fmaMicro4x8(SB), NOSPLIT, $0-48
+	MOVQ ap+0(FP), SI
+	MOVQ bp+8(FP), DI
+	MOVQ kb+16(FP), CX
+	MOVQ c+32(FP), DX
+	MOVQ ldc+40(FP), R8
+	SHLQ $3, R8 // leading dimension in bytes
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+
+	TESTQ CX, CX
+	JZ    writeback
+
+loop:
+	VMOVUPD      (DI), Y8
+	VMOVUPD      32(DI), Y9
+	VBROADCASTSD (SI), Y10
+	VFMADD231PD  Y8, Y10, Y0
+	VFMADD231PD  Y9, Y10, Y1
+	VBROADCASTSD 8(SI), Y11
+	VFMADD231PD  Y8, Y11, Y2
+	VFMADD231PD  Y9, Y11, Y3
+	VBROADCASTSD 16(SI), Y12
+	VFMADD231PD  Y8, Y12, Y4
+	VFMADD231PD  Y9, Y12, Y5
+	VBROADCASTSD 24(SI), Y13
+	VFMADD231PD  Y8, Y13, Y6
+	VFMADD231PD  Y9, Y13, Y7
+	ADDQ         $32, SI
+	ADDQ         $64, DI
+	DECQ         CX
+	JNZ          loop
+
+writeback:
+	VBROADCASTSD alpha+24(FP), Y10
+
+	VMOVUPD     (DX), Y11
+	VMOVUPD     32(DX), Y12
+	VFMADD231PD Y0, Y10, Y11
+	VFMADD231PD Y1, Y10, Y12
+	VMOVUPD     Y11, (DX)
+	VMOVUPD     Y12, 32(DX)
+	ADDQ        R8, DX
+
+	VMOVUPD     (DX), Y11
+	VMOVUPD     32(DX), Y12
+	VFMADD231PD Y2, Y10, Y11
+	VFMADD231PD Y3, Y10, Y12
+	VMOVUPD     Y11, (DX)
+	VMOVUPD     Y12, 32(DX)
+	ADDQ        R8, DX
+
+	VMOVUPD     (DX), Y11
+	VMOVUPD     32(DX), Y12
+	VFMADD231PD Y4, Y10, Y11
+	VFMADD231PD Y5, Y10, Y12
+	VMOVUPD     Y11, (DX)
+	VMOVUPD     Y12, 32(DX)
+	ADDQ        R8, DX
+
+	VMOVUPD     (DX), Y11
+	VMOVUPD     32(DX), Y12
+	VFMADD231PD Y6, Y10, Y11
+	VFMADD231PD Y7, Y10, Y12
+	VMOVUPD     Y11, (DX)
+	VMOVUPD     Y12, 32(DX)
+
+	VZEROUPPER
+	RET

@@ -1,0 +1,44 @@
+package tile
+
+import "sync"
+
+// Pool recycles tile buffers keyed by shape, so steady-state communication
+// (one clone per published tile version) stops allocating once the working
+// set has warmed up. Tiles returned by Get have unspecified contents — the
+// caller is expected to overwrite them (CopyFrom / kernel output).
+//
+// A Pool must not be copied after first use. The zero value is ready to use.
+type Pool struct {
+	m sync.Map // shape key -> *sync.Pool of *Tile
+}
+
+func poolKey(rows, cols int) uint64 {
+	return uint64(uint32(rows))<<32 | uint64(uint32(cols))
+}
+
+// Get returns a rows×cols tile, reusing a released buffer of the same shape
+// when one is available. Contents are unspecified.
+func (p *Pool) Get(rows, cols int) *Tile {
+	if e, ok := p.m.Load(poolKey(rows, cols)); ok {
+		if t, ok := e.(*sync.Pool).Get().(*Tile); ok && t != nil {
+			return t
+		}
+	}
+	return New(rows, cols)
+}
+
+// Put releases t back to the pool. The caller must not use t afterwards.
+func (p *Pool) Put(t *Tile) {
+	if t == nil {
+		return
+	}
+	e, _ := p.m.LoadOrStore(poolKey(t.Rows, t.Cols), &sync.Pool{})
+	e.(*sync.Pool).Put(t)
+}
+
+// Clone returns a pooled deep copy of src.
+func (p *Pool) Clone(src *Tile) *Tile {
+	t := p.Get(src.Rows, src.Cols)
+	copy(t.Data, src.Data)
+	return t
+}

@@ -4,11 +4,15 @@
 // to the task-based runtime, mirroring the kernels Chameleon runs on each
 // worker core.
 //
-// The kernels are written from scratch in pure Go over row-major float64
-// storage. They favour clarity and cache-friendly loop orders over SIMD
-// tricks; the discrete-event simulator models kernel *time* with a calibrated
-// machine model, while these implementations provide the *numerics* for the
-// real distributed execution used in tests and examples.
+// The kernels are written from scratch over row-major float64 storage. Large
+// GEMM-shaped updates run through a cache-blocked, register-tiled panel
+// kernel (gemm_blocked.go): operands are packed into strip panels and a
+// fixed-size microkernel accumulates a small C block in registers — an
+// AVX2+FMA assembly kernel on amd64 (CPUID-gated, kernel_amd64.s), a pure-Go
+// block elsewhere. SYRK and TRSM reuse the same machinery where their access
+// patterns allow. The discrete-event simulator models kernel *time* with a
+// calibrated machine model, while these implementations provide the
+// *numerics* for the real distributed execution used in tests and examples.
 package tile
 
 import (
