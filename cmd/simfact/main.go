@@ -201,6 +201,27 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string) er
 		fmt.Printf(" %.2f", u)
 	}
 	fmt.Println()
+	fmt.Printf("per-node stall (free worker, empty queue):")
+	dupDrops := 0
+	dispatched := map[string]int{}
+	for _, s := range rep.Sched {
+		fmt.Printf(" %.3fs", s.StallSeconds)
+		dupDrops += s.DuplicateDrops
+		for kind, cnt := range s.DispatchedByKind {
+			dispatched[kind] += cnt
+		}
+	}
+	fmt.Println()
+	fmt.Printf("per-node ready-queue peak:")
+	for _, s := range rep.Sched {
+		fmt.Printf(" %d", s.ReadyPeak)
+	}
+	fmt.Println()
+	fmt.Printf("dispatched by kind: %v", dispatched)
+	if dupDrops > 0 {
+		fmt.Printf(" (%d duplicate deliveries dropped)", dupDrops)
+	}
+	fmt.Println()
 	fmt.Printf("kernel time breakdown: %v\n", rec.KindBreakdown())
 	fmt.Printf("wrote %s-gantt.csv and %s-messages.csv\n", prefix, prefix)
 	return nil

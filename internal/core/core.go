@@ -92,13 +92,13 @@ type Report struct {
 	Balanced     bool
 }
 
-// Describe builds a Report for any pattern-backed distribution.
+// Describe builds a Report for any pattern-backed distribution. Pattern-less
+// distributions get a Report with the cost fields zeroed rather than a panic.
 func Describe(d dist.Distribution) Report {
-	pd, ok := d.(dist.PatternDistribution)
+	p, ok := dist.PatternOf(d)
 	if !ok {
 		return Report{Name: d.Name(), Nodes: d.Nodes()}
 	}
-	p := pd.Pattern()
 	r := Report{
 		Name:     d.Name(),
 		Nodes:    d.Nodes(),
@@ -124,8 +124,8 @@ func Recommend(P int, symmetric bool, opt Options) (dist.Distribution, error) {
 
 // Pattern extracts the underlying pattern of a distribution, or nil.
 func Pattern(d dist.Distribution) *pattern.Pattern {
-	if pd, ok := d.(dist.PatternDistribution); ok {
-		return pd.Pattern()
+	if p, ok := dist.PatternOf(d); ok {
+		return p
 	}
 	return nil
 }

@@ -68,21 +68,58 @@ func (c *Cyclic) Owner(i, j int) int { return c.p.Owner(i, j) }
 // Pattern implements PatternDistribution.
 func (c *Cyclic) Pattern() *pattern.Pattern { return c.p }
 
-// CostLU returns the LU communication cost metric of d's pattern, or NaN-free
-// fallback via sampling if d exposes no pattern. All built-in distributions
-// expose a pattern.
-func CostLU(d Distribution) float64 {
-	if pd, ok := d.(PatternDistribution); ok {
-		return pd.Pattern().CostLU()
+// PatternOf returns d's underlying pattern when d is defined by cyclic
+// pattern replication, comma-ok style. Library code should use this (or the
+// TryCost accessors below) rather than the panicking wrappers: a
+// Distribution is just a tile→node map and nothing obliges it to expose a
+// pattern.
+func PatternOf(d Distribution) (*pattern.Pattern, bool) {
+	pd, ok := d.(PatternDistribution)
+	if !ok {
+		return nil, false
 	}
-	panic(fmt.Sprintf("dist: %s does not expose a pattern", d.Name()))
+	return pd.Pattern(), true
 }
 
-// CostCholesky returns the Cholesky (colrow) communication cost metric of d's
-// pattern.
-func CostCholesky(d Distribution) float64 {
-	if pd, ok := d.(PatternDistribution); ok {
-		return pd.Pattern().CostCholesky()
+// TryCostLU returns the LU communication cost metric of d's pattern, with
+// ok == false when d exposes no pattern to compute it from.
+func TryCostLU(d Distribution) (float64, bool) {
+	p, ok := PatternOf(d)
+	if !ok {
+		return 0, false
 	}
-	panic(fmt.Sprintf("dist: %s does not expose a pattern", d.Name()))
+	return p.CostLU(), true
+}
+
+// TryCostCholesky returns the Cholesky (colrow) communication cost metric of
+// d's pattern, with ok == false when d exposes no pattern.
+func TryCostCholesky(d Distribution) (float64, bool) {
+	p, ok := PatternOf(d)
+	if !ok {
+		return 0, false
+	}
+	return p.CostCholesky(), true
+}
+
+// CostLU returns the LU communication cost metric of d's pattern. It panics
+// when d exposes no pattern and exists for CLI and test paths that validated
+// the distribution first; everything else should call TryCostLU.
+func CostLU(d Distribution) float64 {
+	T, ok := TryCostLU(d)
+	if !ok {
+		panic(fmt.Sprintf("dist: %s does not expose a pattern", d.Name()))
+	}
+	return T
+}
+
+// CostCholesky returns the Cholesky (colrow) communication cost metric of
+// d's pattern. It panics when d exposes no pattern and exists for CLI and
+// test paths that validated the distribution first; everything else should
+// call TryCostCholesky.
+func CostCholesky(d Distribution) float64 {
+	T, ok := TryCostCholesky(d)
+	if !ok {
+		panic(fmt.Sprintf("dist: %s does not expose a pattern", d.Name()))
+	}
+	return T
 }

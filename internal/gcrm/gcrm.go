@@ -54,7 +54,10 @@ func Build(P, r int, rng *rand.Rand) (*pattern.Pattern, error) {
 		return nil, fmt.Errorf("gcrm: no balanced %dx%d pattern exists for P=%d (Equation 3)", r, r, P)
 	}
 
-	colrows := phase1(P, r, rng)
+	colrows, err := phase1(P, r, rng)
+	if err != nil {
+		return nil, fmt.Errorf("gcrm: %w", err)
+	}
 	pat := phase2(P, r, colrows, rng)
 
 	if err := pat.Validate(); err != nil {
@@ -77,7 +80,10 @@ func (a *assignment) add(p, cr int) {
 }
 
 // phase1 computes the colrow-to-node assignment A (Algorithm 1, lines 1-10).
-func phase1(P, r int, rng *rand.Rand) *assignment {
+// It returns an error — instead of crashing the caller — if the greedy cover
+// ever stalls with uncovered cells, which the feasibility precondition rules
+// out but library code must not bet the process on.
+func phase1(P, r int, rng *rand.Rand) (*assignment, error) {
 	a := &assignment{sets: make([]map[int]bool, P), usage: make([]int, r)}
 	for p := 0; p < P; p++ {
 		a.sets[p] = make(map[int]bool)
@@ -118,28 +124,12 @@ func phase1(P, r int, rng *rand.Rand) *assignment {
 		p := leastLoaded(a, rng)
 
 		// Lines 6-8: pick the colrow covering the most new cells.
-		best := -1
-		for q := 0; q < r; q++ {
-			newCells[q] = 0
-			if a.sets[p][q] {
-				continue
-			}
-			for cr := range a.sets[p] {
-				if !covered[q*r+cr] {
-					newCells[q]++
-				}
-				if !covered[cr*r+q] {
-					newCells[q]++
-				}
-			}
-			if best == -1 || newCells[q] > newCells[best] {
-				best = q
-			}
-		}
+		best := bestColrow(a, covered, newCells, p, r)
 		if best == -1 {
-			// Unreachable: if the least-loaded node holds every colrow, all
-			// nodes do, and then every cell is covered.
-			panic("gcrm: phase 1 stalled with uncovered cells")
+			// Unreachable for feasible (P, r): if the least-loaded node holds
+			// every colrow, all nodes do, and then every cell is covered. Fail
+			// diagnosably rather than crash if the invariant ever breaks.
+			return nil, fmt.Errorf("phase 1 stalled: node %d already holds all %d colrows but %d cells remain uncovered", p, r, uncovered)
 		}
 		// Tie-break: lowest usage, then random.
 		candidates = candidates[:0]
@@ -168,7 +158,33 @@ func phase1(P, r int, rng *rand.Rand) *assignment {
 		}
 		a.add(p, b)
 	}
-	return a
+	return a, nil
+}
+
+// bestColrow returns the colrow node p does not yet hold that covers the
+// most still-uncovered cells (scratch newCells must have length r), or -1 if
+// p already holds every colrow — the stall condition phase1 reports as an
+// error.
+func bestColrow(a *assignment, covered []bool, newCells []int, p, r int) int {
+	best := -1
+	for q := 0; q < r; q++ {
+		newCells[q] = 0
+		if a.sets[p][q] {
+			continue
+		}
+		for cr := range a.sets[p] {
+			if !covered[q*r+cr] {
+				newCells[q]++
+			}
+			if !covered[cr*r+q] {
+				newCells[q]++
+			}
+		}
+		if best == -1 || newCells[q] > newCells[best] {
+			best = q
+		}
+	}
+	return best
 }
 
 func sortedKeys(m map[int]bool) []int {

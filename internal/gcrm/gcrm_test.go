@@ -216,3 +216,53 @@ func TestEmpiricalLowerLimit(t *testing.T) {
 		t.Errorf("EmpiricalLowerLimit(6) = %v, want 3", got)
 	}
 }
+
+// TestPhase1ReturnsAssignmentWithoutError: the greedy cover phase now plumbs
+// an error instead of panicking; on feasible inputs it must succeed and cover
+// every off-diagonal cell.
+func TestPhase1ReturnsAssignmentWithoutError(t *testing.T) {
+	for _, c := range []struct{ p, r int }{{23, 22}, {5, 4}, {1, 2}, {31, 9}} {
+		a, err := phase1(c.p, c.r, rand.New(rand.NewSource(3)))
+		if err != nil {
+			t.Fatalf("phase1(%d,%d): %v", c.p, c.r, err)
+		}
+		for i := 0; i < c.r; i++ {
+			for j := 0; j < c.r; j++ {
+				if i == j {
+					continue
+				}
+				coveredBySome := false
+				for p := 0; p < c.p && !coveredBySome; p++ {
+					coveredBySome = a.sets[p][i] && a.sets[p][j]
+				}
+				if !coveredBySome {
+					t.Fatalf("phase1(%d,%d): cell (%d,%d) uncovered", c.p, c.r, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestBestColrowDetectsStall: the stall condition phase1 reports as an error
+// — the least-loaded node already holding every colrow — must be detected as
+// -1 rather than picking a bogus colrow (the old code panicked here).
+func TestBestColrowDetectsStall(t *testing.T) {
+	const r = 4
+	a := &assignment{sets: []map[int]bool{{}}, usage: make([]int, r)}
+	for q := 0; q < r; q++ {
+		a.add(0, q)
+	}
+	covered := make([]bool, r*r)
+	newCells := make([]int, r)
+	if got := bestColrow(a, covered, newCells, 0, r); got != -1 {
+		t.Fatalf("bestColrow on a saturated node = %d, want -1", got)
+	}
+	// Sanity: with one colrow missing it must pick exactly that one.
+	b := &assignment{sets: []map[int]bool{{}}, usage: make([]int, r)}
+	for q := 0; q < r-1; q++ {
+		b.add(0, q)
+	}
+	if got := bestColrow(b, covered, newCells, 0, r); got != r-1 {
+		t.Fatalf("bestColrow with colrow %d missing = %d", r-1, got)
+	}
+}

@@ -11,6 +11,17 @@
 // arrivals release the tasks waiting on them. Mailboxes are unbounded and the
 // graph is acyclic, so execution is deadlock-free.
 //
+// # Scheduling
+//
+// Ready tasks dispatch through the critical-path priority heap of package
+// sched — the same policy and heap the discrete-event simulator uses — so
+// panel kernels (GETRF/POTRF) and triangular solves of low iterations never
+// starve behind freshly released trailing updates, and real makespans track
+// what the simulator predicts. Report.Sched exposes per-node scheduler
+// observability: stall time (a free worker with nothing ready — waiting on
+// communication or predecessors), the ready-queue high-water mark, and
+// dispatch counts by kernel kind.
+//
 // # Versioned tile protocol
 //
 // Every published tile travels under a cluster.Tag carrying its write epoch
@@ -65,6 +76,7 @@ import (
 	"anybc/internal/cluster"
 	"anybc/internal/dag"
 	"anybc/internal/dist"
+	"anybc/internal/sched"
 	"anybc/internal/tile"
 	"anybc/internal/trace"
 )
@@ -111,8 +123,31 @@ type Report struct {
 	// ReceivedTilesPerNode, and strictly below it whenever tile release
 	// reclaimed memory mid-run.
 	PeakTilesPerNode []int
+	// Sched holds each node's scheduler observability counters.
+	Sched []SchedStats
 	// Elapsed is the wall-clock duration of the distributed run.
 	Elapsed time.Duration
+}
+
+// SchedStats describes one node's scheduling behaviour over a run.
+type SchedStats struct {
+	// StallSeconds is the total wall-clock time the node spent with at
+	// least one free worker and an empty ready queue while tasks were still
+	// outstanding — time lost waiting on remote tile arrivals or local
+	// predecessor completions rather than on compute. A node whose stall
+	// time dominates its kernel time is communication-bound.
+	StallSeconds float64
+	// ReadyPeak is the high-water mark of the node's ready queue: how much
+	// dispatchable work was queued behind the busy workers at the worst
+	// instant. Persistently small peaks mean the node is starved; large
+	// peaks mean it is the bottleneck.
+	ReadyPeak int
+	// DuplicateDrops counts identical re-delivered tile versions that were
+	// dropped idempotently instead of crashing the node (see onArrival).
+	// Always zero under the current transport, which never re-delivers.
+	DuplicateDrops int
+	// DispatchedByKind counts dispatched kernels per task-kind name.
+	DispatchedByKind map[string]int
 }
 
 // Run executes graph g on a fresh virtual cluster with the given tile
@@ -189,12 +224,23 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		PeakTilesPerNode:     make([]int, P),
 		Elapsed:              elapsed,
 	}
+	rep.Sched = make([]SchedStats, P)
 	for rank, e := range engines {
 		rep.TasksPerNode[rank] = len(e.owned)
 		rep.FlopsPerNode[rank] = e.flops
 		rep.OwnedTilesPerNode[rank] = e.ownedTiles
 		rep.ReceivedTilesPerNode[rank] = e.recvTotal
 		rep.PeakTilesPerNode[rank] = e.peakTiles
+		byKind := make(map[string]int, len(e.dispatched))
+		for kind, n := range e.dispatched {
+			byKind[kind.String()] = n
+		}
+		rep.Sched[rank] = SchedStats{
+			StallSeconds:     e.stallSeconds,
+			ReadyPeak:        e.readyPeak,
+			DuplicateDrops:   e.dupDrops,
+			DispatchedByKind: byKind,
+		}
 	}
 
 	if collect != nil {
@@ -259,10 +305,21 @@ type engine struct {
 	dstList []int
 	dstSeen []bool
 
+	// ready is the node's dispatch queue: the shared critical-path priority
+	// heap of package sched, keyed by the precomputed per-task keys.
+	ready sched.Heap
+	keys  []int64 // per owned task, sched.Key of the task
+
 	flops      float64
 	ownedTiles int
 	recvTotal  int
 	peakTiles  int
+
+	// Scheduler observability (Report.Sched).
+	stallSeconds float64
+	readyPeak    int
+	dupDrops     int
+	dispatched   map[dag.Kind]int
 }
 
 func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
@@ -280,13 +337,15 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 		ver:      ver,
 		rec:      opt.Recorder,
 		epoch:    epoch,
-		localIdx: make(map[int]int),
-		waiters:  make(map[cluster.Tag][]int),
-		tiles:    make(map[cluster.Tag]*tile.Tile),
-		recv:     make(map[cluster.Tag]cluster.Message),
-		readers:  make(map[cluster.Tag]int32),
-		dstList:  make([]int, 0, comm.Size()),
-		dstSeen:  make([]bool, comm.Size()),
+		localIdx:   make(map[int]int),
+		waiters:    make(map[cluster.Tag][]int),
+		tiles:      make(map[cluster.Tag]*tile.Tile),
+		recv:       make(map[cluster.Tag]cluster.Message),
+		readers:    make(map[cluster.Tag]int32),
+		dstList:    make([]int, 0, comm.Size()),
+		dstSeen:    make([]bool, comm.Size()),
+		dispatched: make(map[dag.Kind]int),
+		ready:      sched.NewHeap(sched.CriticalPath.Tie()),
 	}
 	if e.workers <= 0 {
 		e.workers = 1
@@ -311,7 +370,9 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 	// remote deps through versioned tile arrivals.
 	e.remaining = make([]int32, len(e.owned))
 	e.ins = make([][]inputRef, len(e.owned))
+	e.keys = make([]int64, len(e.owned))
 	for idx, t := range e.owned {
+		e.keys[idx] = sched.Key(t)
 		e.remaining[idx] = int32(e.g.NumDependencies(t))
 		e.g.Dependencies(t, func(dep dag.Task) {
 			di, dj := e.g.OutputTile(dep)
@@ -398,15 +459,15 @@ func (e *engine) run() error {
 		}(w)
 	}
 
-	var ready []int
 	for idx := range e.owned {
 		if e.remaining[idx] == 0 {
-			ready = append(ready, idx)
+			e.pushReady(idx)
 		}
 	}
 
 	dispatch := func(idx int) {
 		t := e.owned[idx]
+		e.dispatched[t.Kind]++
 		oi, oj := e.g.OutputTile(t)
 		out := e.tiles[cluster.Tag{I: int32(oi), J: int32(oj)}]
 		inputs := e.inbuf[idx]
@@ -436,15 +497,21 @@ func (e *engine) run() error {
 				break
 			}
 		} else {
-			for len(ready) > 0 && inflight < e.workers {
-				idx := ready[len(ready)-1]
-				ready = ready[:len(ready)-1]
-				dispatch(idx)
+			for !e.ready.Empty() && inflight < e.workers {
+				dispatch(int(e.ready.Pop()))
 				inflight++
 			}
 			if done == total {
 				break
 			}
+		}
+		// A free worker with nothing ready while tasks that could feed it are
+		// still outstanding means the node is stalled on communication or on
+		// local predecessors — measure that starvation.
+		stalled := !aborted && inflight < e.workers && done+inflight < total
+		var stallStart time.Time
+		if stalled {
+			stallStart = time.Now()
 		}
 		select {
 		case ev := <-events:
@@ -452,8 +519,13 @@ func (e *engine) run() error {
 			case ev.completed < 0:
 				if aborted {
 					ev.msg.Release()
-				} else {
-					ready = e.onArrival(ev.msg, ready)
+				} else if err := e.onArrival(ev.msg); err != nil {
+					// Protocol violation (conflicting duplicate delivery):
+					// fail this node descriptively instead of panicking, and
+					// poison the cluster like any other node failure.
+					aborted = true
+					abortErr = err
+					e.comm.Abort()
 				}
 			default:
 				inflight--
@@ -474,7 +546,7 @@ func (e *engine) run() error {
 						abortErr = fmt.Errorf("%v: %w", e.owned[ev.completed], ev.err)
 					}
 				} else if !aborted {
-					ready = e.onComplete(ev.completed, ready)
+					e.onComplete(ev.completed)
 				}
 				// Completions after the abort are suppressed entirely: no
 				// successor release, no sends.
@@ -486,6 +558,14 @@ func (e *engine) run() error {
 				// work: a peer failed.
 				aborted = true
 				abortErr = ErrPeerAborted
+			}
+		}
+		if stalled {
+			end := time.Now()
+			e.stallSeconds += end.Sub(stallStart).Seconds()
+			if e.rec != nil {
+				e.rec.RecordStall(e.rank,
+					stallStart.Sub(e.epoch).Seconds(), end.Sub(e.epoch).Seconds())
 			}
 		}
 	}
@@ -505,10 +585,19 @@ func (e *engine) run() error {
 	return abortErr
 }
 
+// pushReady queues owned task idx for dispatch under its critical-path key
+// and tracks the ready-queue high-water mark.
+func (e *engine) pushReady(idx int) {
+	e.ready.Push(e.keys[idx], int32(idx))
+	if n := e.ready.Len(); n > e.readyPeak {
+		e.readyPeak = n
+	}
+}
+
 // onComplete publishes a finished task: releases local successors, sends the
 // output tile version once to every distinct remote consumer node, and
 // releases received tiles whose last local consumer just ran.
-func (e *engine) onComplete(idx int, ready []int) []int {
+func (e *engine) onComplete(idx int) {
 	t := e.owned[idx]
 	e.flops += e.g.Flops(t, e.b)
 	oi, oj := e.g.OutputTile(t)
@@ -524,7 +613,7 @@ func (e *engine) onComplete(idx int, ready []int) []int {
 			li := e.localIdx[e.g.ID(s)]
 			e.remaining[li]--
 			if e.remaining[li] == 0 {
-				ready = append(ready, li)
+				e.pushReady(li)
 			}
 			return
 		}
@@ -557,18 +646,29 @@ func (e *engine) onComplete(idx int, ready []int) []int {
 			}
 		}
 	}
-	return ready
 }
 
 // onArrival stores a received tile version and releases the tasks waiting on
 // it. Versions no local task consumes (pure ordering dependencies) are
 // dropped immediately; everything else is retained until its last consumer
 // runs.
-func (e *engine) onArrival(msg cluster.Message, ready []int) []int {
-	if _, dup := e.recv[msg.Tag]; dup {
-		// A tile version is sent at most once per destination; receiving a
-		// duplicate indicates a protocol bug.
-		panic(fmt.Sprintf("runtime: node %d: duplicate tile %v", e.rank, msg.Tag))
+//
+// The transport sends each tile version at most once per destination, but a
+// re-delivery must not crash the node: an arrival whose tag is already
+// retained is dropped idempotently when its payload matches the retained copy
+// (counted in Report.Sched.DuplicateDrops), and reported as a descriptive
+// error — surfaced through Run's joined node errors — when the payloads
+// genuinely conflict, since then one of the two writes is wrong and the run
+// cannot be trusted.
+func (e *engine) onArrival(msg cluster.Message) error {
+	if prev, dup := e.recv[msg.Tag]; dup {
+		identical := prev.Payload.EqualApprox(msg.Payload, 0)
+		msg.Release()
+		if identical {
+			e.dupDrops++
+			return nil
+		}
+		return fmt.Errorf("conflicting duplicate of tile %v from node %d: payload differs from the retained copy", msg.Tag, msg.From)
 	}
 	e.recvTotal++
 	if e.rec != nil {
@@ -587,9 +687,9 @@ func (e *engine) onArrival(msg cluster.Message, ready []int) []int {
 	for _, idx := range e.waiters[msg.Tag] {
 		e.remaining[idx]--
 		if e.remaining[idx] == 0 {
-			ready = append(ready, idx)
+			e.pushReady(idx)
 		}
 	}
 	delete(e.waiters, msg.Tag)
-	return ready
+	return nil
 }

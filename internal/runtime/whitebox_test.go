@@ -22,12 +22,12 @@ func testEngine(t *testing.T, rank int, cl *cluster.Cluster, g dag.Graph,
 	return newEngine(rank, cl.Comm(rank), g, d, b, gen, kern, Options{Workers: 1}, ver, time.Now())
 }
 
-// TestDuplicateArrivalPanics exercises the protocol guard: a node receiving
-// the same tile version twice indicates a runtime bug and must panic loudly
-// rather than silently corrupt dependency counts. Distinct versions of the
-// same tile are legal under the versioned protocol — only an exact tag
-// repeat is a bug.
-func TestDuplicateArrivalPanics(t *testing.T) {
+// TestDuplicateArrivalIdempotent exercises the protocol guard: re-delivery
+// of a tile version the node already retains must be dropped idempotently —
+// no dependency count corrupted, no crash — and counted for the report.
+// Distinct versions of the same tile are legal under the versioned protocol;
+// only an exact tag repeat is a re-delivery.
+func TestDuplicateArrivalIdempotent(t *testing.T) {
 	g := dag.NewLU(4)
 	d := dist.NewTwoDBC(2, 2)
 	cl := cluster.New(4)
@@ -36,16 +36,61 @@ func TestDuplicateArrivalPanics(t *testing.T) {
 	e := testEngine(t, 1, cl, g, d, 3, gen, LUKernel)
 
 	// Node 1 owns tile (0,1): its TRSMRow reads the GETRF output (0,0) at
-	// version 0, so the arrival is stored (readers > 0) and a repeat is a
-	// genuine duplicate.
-	msg := cluster.Message{From: 0, To: 1, Tag: cluster.Tag{I: 0, J: 0, V: 0}, Payload: tile.New(3, 3)}
-	e.onArrival(msg, nil)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate arrival did not panic")
+	// version 0, so the arrival is stored (readers > 0) and a repeat with the
+	// same payload is an identical re-delivery.
+	pay := tile.New(3, 3)
+	pay.Fill(2.5)
+	msg := cluster.Message{From: 0, To: 1, Tag: cluster.Tag{I: 0, J: 0, V: 0}, Payload: pay}
+	if err := e.onArrival(msg); err != nil {
+		t.Fatal(err)
+	}
+	waitersBefore := len(e.waiters)
+	remainingBefore := append([]int32(nil), e.remaining...)
+	if err := e.onArrival(cluster.Message{From: 0, To: 1, Tag: msg.Tag, Payload: pay.Clone()}); err != nil {
+		t.Fatalf("identical re-delivery returned error: %v", err)
+	}
+	if e.dupDrops != 1 {
+		t.Fatalf("dupDrops = %d, want 1", e.dupDrops)
+	}
+	if e.recvTotal != 1 {
+		t.Fatalf("recvTotal = %d, want 1 (duplicate must not count as a delivery)", e.recvTotal)
+	}
+	if len(e.waiters) != waitersBefore {
+		t.Fatalf("waiters changed on duplicate: %d -> %d", waitersBefore, len(e.waiters))
+	}
+	for idx, rem := range e.remaining {
+		if rem != remainingBefore[idx] {
+			t.Fatalf("remaining[%d] changed on duplicate: %d -> %d", idx, remainingBefore[idx], rem)
 		}
-	}()
-	e.onArrival(msg, nil)
+	}
+}
+
+// TestConflictingDuplicateArrivalErrors: a re-delivered tag whose payload
+// differs from the retained copy is a genuine protocol violation and must
+// surface as a descriptive error (joined into Run's node errors), not a
+// process panic.
+func TestConflictingDuplicateArrivalErrors(t *testing.T) {
+	g := dag.NewLU(4)
+	d := dist.NewTwoDBC(2, 2)
+	cl := cluster.New(4)
+	defer cl.Close()
+	e := testEngine(t, 1, cl, g, d, 3, GenDiagDominant(4, 3, 1), LUKernel)
+
+	pay := tile.New(3, 3)
+	pay.Fill(1)
+	tag := cluster.Tag{I: 0, J: 0, V: 0}
+	if err := e.onArrival(cluster.Message{From: 0, To: 1, Tag: tag, Payload: pay}); err != nil {
+		t.Fatal(err)
+	}
+	conflict := tile.New(3, 3)
+	conflict.Fill(-7)
+	err := e.onArrival(cluster.Message{From: 0, To: 1, Tag: tag, Payload: conflict})
+	if err == nil {
+		t.Fatal("conflicting duplicate did not return an error")
+	}
+	if e.dupDrops != 0 {
+		t.Fatalf("conflicting duplicate counted as idempotent drop: dupDrops = %d", e.dupDrops)
+	}
 }
 
 // TestUnconsumedArrivalDropped: a version no local task reads (a pure
@@ -59,7 +104,9 @@ func TestUnconsumedArrivalDropped(t *testing.T) {
 
 	// Version 99 of tile (0,0) has no registered reader on node 1.
 	msg := cluster.Message{From: 0, To: 1, Tag: cluster.Tag{I: 0, J: 0, V: 99}, Payload: tile.New(3, 3)}
-	e.onArrival(msg, nil)
+	if err := e.onArrival(msg); err != nil {
+		t.Fatal(err)
+	}
 	if len(e.recv) != 0 {
 		t.Fatalf("unconsumed arrival retained: %d tiles", len(e.recv))
 	}

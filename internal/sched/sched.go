@@ -1,0 +1,196 @@
+// Package sched is the single scheduling policy shared by the discrete-event
+// simulator (internal/simulate) and the real distributed runtime
+// (internal/runtime): a per-task priority key that favors the critical path
+// of the right-looking factorizations, and a deterministic priority heap for
+// per-node ready queues.
+//
+// The paper's evaluation depends on the simulator predicting what the
+// Chameleon/StarPU-style runtime does; keeping both halves on one policy is
+// what makes the prediction honest. The policy itself is the
+// critical-path-first heuristic dynamic runtimes converge to (Donfack et al.,
+// hybrid static/dynamic scheduling; Kwasniewski et al., arXiv:2010.05975):
+// lower iterations first, and within an iteration the panel factorization
+// (GETRF/POTRF) before the triangular solves (TRSM) before the trailing
+// updates (SYRK, GEMM) — a delayed panel serializes the whole next iteration,
+// while a delayed GEMM only delays itself.
+package sched
+
+import "anybc/internal/dag"
+
+// Policy selects how ready tasks are ordered.
+type Policy int
+
+const (
+	// CriticalPath orders by iteration, then panel < TRSM < SYRK < update —
+	// the lookahead-friendly policy both substrates use by default.
+	CriticalPath Policy = iota
+	// FIFO dispatches ready tasks in release order (all keys equal; the
+	// heap's insertion-order tie-break makes it a plain queue).
+	FIFO
+)
+
+// kindOrder ranks task kinds within one iteration: the diagonal panel
+// factorization unblocks everything, the solves unblock the updates, and the
+// updates only feed the next iteration.
+func kindOrder(k dag.Kind) int64 {
+	switch k {
+	case dag.GETRF, dag.POTRF:
+		return 0
+	case dag.TRSMCol, dag.TRSMRow, dag.TRSMChol:
+		return 1
+	case dag.SYRK:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// subOrder refines the order within one (iteration, kind) class by urgency:
+// the smallest row/column a task touches is the first future iteration its
+// output unblocks, so the solve of row ℓ+1 and the update of tile
+// (ℓ+1, ℓ+1) — the very operands of iteration ℓ+1's panel — dispatch before
+// updates deep in the trailing matrix. This is the lookahead priority
+// dynamic runtimes (PaRSEC/DPLASMA-style) give tiled factorizations.
+func subOrder(t dag.Task) int64 {
+	switch t.Kind {
+	case dag.GETRF, dag.POTRF:
+		return 0
+	case dag.TRSMCol, dag.TRSMRow, dag.TRSMChol, dag.SYRK:
+		return int64(t.I)
+	default:
+		i, j := int64(t.I), int64(t.J)
+		if j < i {
+			return j
+		}
+		return i
+	}
+}
+
+// subBits bounds the sub-priority field; matrices beyond 2^20 tiles per side
+// saturate it (the class order still holds).
+const subBits = 20
+
+// Key returns the CriticalPath dispatch key of t: lower keys dispatch first.
+// Keys are totally ordered by (iteration, kind rank, urgency); remaining
+// ties are left to the heap's deterministic tie-break.
+func Key(t dag.Task) int64 {
+	sub := subOrder(t)
+	if sub >= 1<<subBits {
+		sub = 1<<subBits - 1
+	}
+	return (int64(t.L)*4+kindOrder(t.Kind))<<subBits | sub
+}
+
+// Key returns the dispatch key of t under policy p.
+func (p Policy) Key(t dag.Task) int64 {
+	if p == FIFO {
+		return 0
+	}
+	return Key(t)
+}
+
+// Tie selects how a Heap orders ids whose keys compare equal.
+type Tie int
+
+const (
+	// TieFIFO pops equal keys in push order — a fair queue, and what makes
+	// the FIFO policy (all keys zero) a plain release-order queue.
+	TieFIFO Tie = iota
+	// TieLIFO pops the most recently pushed of equal keys first. This is the
+	// cache-affinity order of StarPU/Chameleon-style local task stacks: the
+	// trailing update released last reads the tile a worker just wrote, so
+	// popping it first keeps the operand hot. CriticalPath uses it — the key
+	// still dictates cross-class order; recency only breaks ties among
+	// same-iteration same-kind updates.
+	TieLIFO
+)
+
+// Tie returns the tie-break mode policy p pairs with.
+func (p Policy) Tie() Tie {
+	if p == FIFO {
+		return TieFIFO
+	}
+	return TieLIFO
+}
+
+// Heap is a deterministic min-heap of task identifiers ordered by (key,
+// tie-break on push recency): both orders are total, so a run's dispatch
+// sequence is reproducible. The zero value is an empty TieFIFO heap; use
+// NewHeap to select the tie-break.
+type Heap struct {
+	keys []int64
+	ids  []int32
+	seqs []uint64
+	seq  uint64
+	tie  Tie
+}
+
+// NewHeap returns an empty heap with the given tie-break mode.
+func NewHeap(tie Tie) Heap { return Heap{tie: tie} }
+
+// Push inserts id with the given priority key.
+func (h *Heap) Push(key int64, id int32) {
+	h.seq++
+	h.keys = append(h.keys, key)
+	h.ids = append(h.ids, id)
+	h.seqs = append(h.seqs, h.seq)
+	i := len(h.keys) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) less(a, b int) bool {
+	if h.keys[a] != h.keys[b] {
+		return h.keys[a] < h.keys[b]
+	}
+	if h.tie == TieLIFO {
+		return h.seqs[a] > h.seqs[b]
+	}
+	return h.seqs[a] < h.seqs[b]
+}
+
+func (h *Heap) swap(a, b int) {
+	h.keys[a], h.keys[b] = h.keys[b], h.keys[a]
+	h.ids[a], h.ids[b] = h.ids[b], h.ids[a]
+	h.seqs[a], h.seqs[b] = h.seqs[b], h.seqs[a]
+}
+
+// Pop removes and returns the id with the lowest key (tie broken by the
+// heap's Tie mode). It must not be called on an empty heap.
+func (h *Heap) Pop() int32 {
+	top := h.ids[0]
+	last := len(h.keys) - 1
+	h.swap(0, last)
+	h.keys = h.keys[:last]
+	h.ids = h.ids[:last]
+	h.seqs = h.seqs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.keys) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.keys) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return top
+}
+
+// Len returns the number of queued ids.
+func (h *Heap) Len() int { return len(h.keys) }
+
+// Empty reports whether the heap holds no ids.
+func (h *Heap) Empty() bool { return len(h.keys) == 0 }

@@ -74,69 +74,5 @@ func (h *eventHeap) pop() event {
 
 func (h *eventHeap) empty() bool { return len(h.items) == 0 }
 
-// taskHeap is a per-node ready queue ordered by priority key (ascending):
-// lower iteration first, panel kernels before updates. Keys are computed by
-// the simulator; ties resolve by insertion order for determinism.
-type taskHeap struct {
-	keys  []int64
-	tasks []int32
-	seqs  []uint64
-	seq   uint64
-}
-
-func (h *taskHeap) push(key int64, task int32) {
-	h.seq++
-	h.keys = append(h.keys, key)
-	h.tasks = append(h.tasks, task)
-	h.seqs = append(h.seqs, h.seq)
-	i := len(h.keys) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.swap(i, parent)
-		i = parent
-	}
-}
-
-func (h *taskHeap) less(a, b int) bool {
-	if h.keys[a] != h.keys[b] {
-		return h.keys[a] < h.keys[b]
-	}
-	return h.seqs[a] < h.seqs[b]
-}
-
-func (h *taskHeap) swap(a, b int) {
-	h.keys[a], h.keys[b] = h.keys[b], h.keys[a]
-	h.tasks[a], h.tasks[b] = h.tasks[b], h.tasks[a]
-	h.seqs[a], h.seqs[b] = h.seqs[b], h.seqs[a]
-}
-
-func (h *taskHeap) pop() int32 {
-	top := h.tasks[0]
-	last := len(h.keys) - 1
-	h.swap(0, last)
-	h.keys = h.keys[:last]
-	h.tasks = h.tasks[:last]
-	h.seqs = h.seqs[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(h.keys) && h.less(l, smallest) {
-			smallest = l
-		}
-		if r < len(h.keys) && h.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		h.swap(i, smallest)
-		i = smallest
-	}
-	return top
-}
-
-func (h *taskHeap) empty() bool { return len(h.keys) == 0 }
+// The per-node ready queues are sched.Heap: the same deterministic priority
+// heap (and the same critical-path key) the real runtime dispatches with.

@@ -5,20 +5,31 @@ import (
 
 	"anybc/internal/dag"
 	"anybc/internal/dist"
+	"anybc/internal/sched"
 	"anybc/internal/trace"
 )
 
 // Scheduler selects which ready task a free worker picks next.
 type Scheduler int
 
-// Scheduling policies for the per-node ready queues.
+// Scheduling policies for the per-node ready queues. Both map onto the
+// policies of package sched, which the real runtime shares.
 const (
 	// IterationOrder prioritizes lower iterations and panel kernels before
-	// updates — the lookahead-friendly policy dynamic runtimes converge to.
+	// updates (sched.CriticalPath) — the lookahead-friendly policy dynamic
+	// runtimes converge to, and the one the real runtime dispatches with.
 	IterationOrder Scheduler = iota
-	// FIFOOrder executes ready tasks in release order.
+	// FIFOOrder executes ready tasks in release order (sched.FIFO).
 	FIFOOrder
 )
+
+// policy maps the simulator option onto the shared scheduling policy.
+func (s Scheduler) policy() sched.Policy {
+	if s == FIFOOrder {
+		return sched.FIFO
+	}
+	return sched.CriticalPath
+}
 
 // Options configures a simulation run.
 type Options struct {
@@ -83,7 +94,10 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 	})
 
 	// Per-node state.
-	ready := make([]taskHeap, P)
+	ready := make([]sched.Heap, P)
+	for i := range ready {
+		ready[i] = sched.NewHeap(opt.Scheduler.policy().Tie())
+	}
 	freeWorkers := make([]int, P)
 	nicOut := make([]float64, P)
 	nicIn := make([]float64, P)
@@ -102,23 +116,7 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 		}
 	}
 
-	prio := func(t dag.Task) int64 {
-		if opt.Scheduler == FIFOOrder {
-			return 0
-		}
-		var kindOrder int64
-		switch t.Kind {
-		case dag.GETRF, dag.POTRF:
-			kindOrder = 0
-		case dag.TRSMCol, dag.TRSMRow, dag.TRSMChol:
-			kindOrder = 1
-		case dag.SYRK:
-			kindOrder = 2
-		default:
-			kindOrder = 3
-		}
-		return int64(t.L)*4 + kindOrder
-	}
+	policy := opt.Scheduler.policy()
 
 	var events eventHeap
 	var result Result
@@ -129,8 +127,8 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 	result.RecvBytes = make([]int64, P)
 
 	dispatch := func(node int, now float64) {
-		for freeWorkers[node] > 0 && !ready[node].empty() {
-			id := ready[node].pop()
+		for freeWorkers[node] > 0 && !ready[node].Empty() {
+			id := ready[node].Pop()
 			freeWorkers[node]--
 			t := g.TaskOf(int(id))
 			dur := g.Flops(t, b) / (m.FlopsPerWorker * speed(node))
@@ -151,17 +149,24 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 		}
 	}
 
-	release := func(id int, now float64) {
+	// release queues a task without dispatching: successors of one completion
+	// (or one arrival) become ready at the same instant, so the dispatch
+	// decision is made once over the full set — priority picks among all of
+	// them, exactly as the real engine's dispatch loop runs after its release
+	// sweep.
+	release := func(id int) {
 		node := int(ownerOf[id])
-		ready[node].push(prio(g.TaskOf(id)), int32(id))
-		dispatch(node, now)
+		ready[node].Push(policy.Key(g.TaskOf(id)), int32(id))
 	}
 
 	// Seed: tasks with no dependencies.
 	for id := 0; id < n; id++ {
 		if remaining[id] == 0 {
-			release(id, 0)
+			release(id)
 		}
+	}
+	for node := 0; node < P; node++ {
+		dispatch(node, 0)
 	}
 
 	done := 0
@@ -183,7 +188,7 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 				if dst == src {
 					remaining[sid]--
 					if remaining[sid] == 0 {
-						release(sid, now)
+						release(sid)
 					}
 					return
 				}
@@ -232,9 +237,10 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 				}
 				remaining[sid]--
 				if remaining[sid] == 0 {
-					release(sid, now)
+					release(sid)
 				}
 			})
+			dispatch(int(ev.node), now)
 		}
 		if now > result.Makespan {
 			result.Makespan = now

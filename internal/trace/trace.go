@@ -31,6 +31,14 @@ type MessageEvent struct {
 	Bytes          int
 }
 
+// StallEvent is one interval during which a node had at least one free
+// worker and nothing ready to dispatch — scheduler starvation, attributable
+// to communication or to predecessor tasks on other nodes.
+type StallEvent struct {
+	Node       int
+	Start, End float64
+}
+
 // Recorder accumulates events during one run. Recording is safe for
 // concurrent use — the real runtime records from every node's goroutines —
 // while the analysis methods expect recording to have finished.
@@ -38,6 +46,7 @@ type Recorder struct {
 	mu       sync.Mutex
 	Tasks    []TaskEvent
 	Messages []MessageEvent
+	Stalls   []StallEvent
 }
 
 // RecordTask appends a kernel execution interval.
@@ -51,6 +60,13 @@ func (r *Recorder) RecordTask(node, slot int, t dag.Task, start, end float64) {
 func (r *Recorder) RecordMessage(src, dst int, depart, arrive float64, bytes int) {
 	r.mu.Lock()
 	r.Messages = append(r.Messages, MessageEvent{Src: src, Dst: dst, Depart: depart, Arrive: arrive, Bytes: bytes})
+	r.mu.Unlock()
+}
+
+// RecordStall appends a scheduler-starvation interval for a node.
+func (r *Recorder) RecordStall(node int, start, end float64) {
+	r.mu.Lock()
+	r.Stalls = append(r.Stalls, StallEvent{Node: node, Start: start, End: end})
 	r.mu.Unlock()
 }
 
@@ -82,6 +98,23 @@ func (r *Recorder) BusyPerNode(p int) []float64 {
 	}
 	out := make([]float64, p)
 	for _, e := range r.Tasks {
+		out[e.Node] += e.End - e.Start
+	}
+	return out
+}
+
+// StallPerNode returns the summed scheduler-starvation time per node for a
+// cluster of p nodes, with the same sizing rule as BusyPerNode: idle nodes
+// report zero, and the output grows beyond p only if some event names a
+// higher node.
+func (r *Recorder) StallPerNode(p int) []float64 {
+	for _, e := range r.Stalls {
+		if e.Node >= p {
+			p = e.Node + 1
+		}
+	}
+	out := make([]float64, p)
+	for _, e := range r.Stalls {
 		out[e.Node] += e.End - e.Start
 	}
 	return out
@@ -166,6 +199,11 @@ func (r *Recorder) Validate() error {
 	for _, m := range r.Messages {
 		if m.Arrive < m.Depart {
 			return fmt.Errorf("trace: message %d->%d arrives before departure", m.Src, m.Dst)
+		}
+	}
+	for _, s := range r.Stalls {
+		if s.End < s.Start {
+			return fmt.Errorf("trace: stall on node %d has negative duration", s.Node)
 		}
 	}
 	return nil

@@ -108,6 +108,33 @@ func TestValidate(t *testing.T) {
 	}
 }
 
+// TestStallRecording: stall intervals accumulate per node with the same
+// sizing rule as BusyPerNode, and Validate rejects negative-duration stalls.
+func TestStallRecording(t *testing.T) {
+	r := &Recorder{}
+	r.RecordStall(1, 0, 0.5)
+	r.RecordStall(1, 2, 2.25)
+	r.RecordStall(3, 0, 1)
+	st := r.StallPerNode(2)
+	if len(st) != 4 {
+		t.Fatalf("StallPerNode(2) length %d, want 4 (events beyond p extend)", len(st))
+	}
+	if st[0] != 0 || math.Abs(st[1]-0.75) > 1e-12 || st[2] != 0 || st[3] != 1 {
+		t.Fatalf("StallPerNode = %v", st)
+	}
+	if got := r.StallPerNode(6); len(got) != 6 || got[5] != 0 {
+		t.Fatalf("StallPerNode(6) = %v, want trailing zeros", got)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid stalls rejected: %v", err)
+	}
+	bad := &Recorder{}
+	bad.RecordStall(0, 2, 1)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative-duration stall accepted")
+	}
+}
+
 func TestCSVExports(t *testing.T) {
 	r := sampleRecorder()
 	var b strings.Builder
