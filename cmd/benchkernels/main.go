@@ -6,11 +6,18 @@
 // Usage:
 //
 //	benchkernels [-o BENCH_kernels.json] [-benchtime 1s] [-quick]
+//	             [-floor BENCH_kernels.json] [-floor-frac 0.5]
 //
 // Kernel entries report sustained GFlop/s at the paper's tile size (and a
 // cache-resident size for GEMM); the runtime entry reports allocations,
 // bytes and messages per full 44-node LU factorization, the quantities the
 // broadcast-once/pooled communication layer is meant to keep flat.
+//
+// With -floor, the fresh rates are additionally compared against a committed
+// baseline JSON: any kernel present in both runs that drops below
+// floor-frac of its baseline GFlop/s fails the process (exit 1). The check
+// is skipped when the assembly microkernel is not in use, because the pure-Go
+// fallback's rates are not comparable to an AVX2 baseline.
 package main
 
 import (
@@ -48,12 +55,15 @@ type RuntimeResult struct {
 
 // Output is the schema of BENCH_kernels.json.
 type Output struct {
-	GoVersion string         `json:"go_version"`
-	GOOS      string         `json:"goos"`
-	GOARCH    string         `json:"goarch"`
-	NumCPU    int            `json:"num_cpu"`
-	Kernels   []KernelResult `json:"kernels"`
-	Runtime   RuntimeResult  `json:"runtime"`
+	GoVersion              string         `json:"go_version"`
+	GOOS                   string         `json:"goos"`
+	GOARCH                 string         `json:"goarch"`
+	NumCPU                 int            `json:"num_cpu"`
+	GoMaxProcs             int            `json:"gomaxprocs"`
+	Microkernel            string         `json:"microkernel"`
+	MicrokernelAccelerated bool           `json:"microkernel_accelerated"`
+	Kernels                []KernelResult `json:"kernels"`
+	Runtime                RuntimeResult  `json:"runtime"`
 }
 
 func gflops(r testing.BenchmarkResult, flopsPerOp float64) float64 {
@@ -80,11 +90,49 @@ func randTile(n int, seed int64) *tile.Tile {
 	return t
 }
 
+// checkFloor compares fresh kernel rates against a committed baseline and
+// reports every kernel (present in both) below frac of its baseline rate.
+func checkFloor(fresh Output, baselinePath string, frac float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var base Output
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+	}
+	baseRate := make(map[string]float64, len(base.Kernels))
+	for _, k := range base.Kernels {
+		baseRate[k.Name] = k.GFlops
+	}
+	var failed []string
+	for _, k := range fresh.Kernels {
+		want, ok := baseRate[k.Name]
+		if !ok || want <= 0 {
+			continue
+		}
+		floor := frac * want
+		status := "ok"
+		if k.GFlops < floor {
+			status = "FAIL"
+			failed = append(failed, k.Name)
+		}
+		fmt.Fprintf(os.Stderr, "floor %-20s %8.2f GFlop/s vs floor %8.2f (baseline %.2f)  %s\n",
+			k.Name, k.GFlops, floor, want, status)
+	}
+	if failed != nil {
+		return fmt.Errorf("kernels below %.0f%% of baseline: %v", 100*frac, failed)
+	}
+	return nil
+}
+
 func main() {
 	testing.Init() // registers test.benchtime, which testing.Benchmark honors
 	out := flag.String("o", "BENCH_kernels.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
 	quick := flag.Bool("quick", false, "single-iteration smoke run (CI)")
+	floorPath := flag.String("floor", "", "baseline JSON to enforce a kernel-rate floor against")
+	floorFrac := flag.Float64("floor-frac", 0.5, "fraction of the baseline GFlop/s each kernel must sustain")
 	flag.Parse()
 	if *quick {
 		flag.Set("test.benchtime", "1x")
@@ -99,11 +147,30 @@ func main() {
 	for i := 0; i < n; i++ {
 		tri.Set(i, i, 3)
 	}
+	// Factorization inputs: diagonally dominant for unpivoted LU, SPD for
+	// Cholesky. Each op re-copies the source into a work tile; the O(n²) copy
+	// is noise next to the O(n³) factorization.
+	dom := randTile(n, 8)
+	spd := tile.New(n, n)
+	for i := 0; i < n; i++ {
+		dom.Set(i, i, float64(n)+1)
+		for j := 0; j <= i; j++ {
+			v := dom.At(i, j)
+			spd.Set(i, j, v)
+			spd.Set(j, i, v)
+		}
+		spd.Set(i, i, float64(n)+1)
+	}
+	work := tile.New(n, n)
 
 	var res Output
 	res.GoVersion = rt.Version()
 	res.GOOS, res.GOARCH = rt.GOOS, rt.GOARCH
 	res.NumCPU = rt.NumCPU()
+	res.GoMaxProcs = rt.GOMAXPROCS(0)
+	res.Microkernel = tile.MicroKernelName()
+	res.MicrokernelAccelerated = tile.MicroKernelAccelerated()
+	fmt.Fprintf(os.Stderr, "microkernel %s  gomaxprocs %d\n", res.Microkernel, res.GoMaxProcs)
 
 	res.Kernels = append(res.Kernels,
 		benchKernel("Gemm500", n, tile.FlopsGemm(n), func() {
@@ -120,6 +187,21 @@ func main() {
 		}),
 		benchKernel("Trsm500", n, tile.FlopsTrsm(n), func() {
 			tile.Trsm(tile.Left, tile.Lower, tile.NoTrans, tile.NonUnit, 1, tri, z)
+		}),
+		benchKernel("TrsmRight500", n, tile.FlopsTrsm(n), func() {
+			tile.Trsm(tile.Right, tile.Upper, tile.NoTrans, tile.NonUnit, 1, tri, z)
+		}),
+		benchKernel("Getrf500", n, tile.FlopsGetrf(n), func() {
+			copy(work.Data, dom.Data)
+			if err := tile.Getrf(work); err != nil {
+				panic(err)
+			}
+		}),
+		benchKernel("Potrf500", n, tile.FlopsPotrf(n), func() {
+			copy(work.Data, spd.Data)
+			if err := tile.Potrf(work); err != nil {
+				panic(err)
+			}
 		}),
 	)
 
@@ -166,4 +248,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "wrote", *out)
+
+	if *floorPath != "" {
+		if !res.MicrokernelAccelerated {
+			fmt.Fprintf(os.Stderr, "floor check skipped: %s fallback in use, baseline assumes the accelerated microkernel\n",
+				res.Microkernel)
+			return
+		}
+		if err := checkFloor(res, *floorPath, *floorFrac); err != nil {
+			fmt.Fprintln(os.Stderr, "benchkernels:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "floor check passed")
+	}
 }

@@ -66,6 +66,22 @@ func BenchmarkKernelTrsm500(b *testing.B) {
 	b.ReportMetric(FlopsTrsm(500)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
 }
 
+func BenchmarkKernelTrsmRight500(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	a := New(500, 500)
+	a.Random(rng)
+	for i := 0; i < 500; i++ {
+		a.Set(i, i, 3)
+	}
+	x := New(500, 500)
+	x.Random(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Trsm(Right, Upper, NoTrans, NonUnit, 1, a, x)
+	}
+	b.ReportMetric(FlopsTrsm(500)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFlop/s")
+}
+
 func BenchmarkKernelPotrf500(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
 	src := New(500, 500)

@@ -137,8 +137,10 @@ func gemmSmall(transA, transB Trans, alpha float64, a, b *Tile, c *Tile, m, n, k
 }
 
 // syrkBlock is the column-block width of the SYRK driver: off-diagonal
-// column panels go through the blocked GEMM kernel, only the small triangle
-// straddling the diagonal runs the scalar dot loops.
+// column panels go through the blocked GEMM kernel, and diagonal blocks with
+// enough depth run as a full square microkernel GEMM into a scratch block
+// (folding only the triangle into C); only shallow or narrow diagonal blocks
+// fall back to scalar dot loops.
 const syrkBlock = 64
 
 // Syrk computes the symmetric rank-k update C = alpha·op(A)·op(A)ᵀ + beta·C,
@@ -192,31 +194,75 @@ func Syrk(uplo Uplo, trans Trans, alpha float64, a *Tile, beta float64, c *Tile)
 		ad, lda = t, k
 		defer packBuf.Put(buf)
 	}
+	syrkView(uplo, alpha, ad, lda, n, k, c.Data, c.Cols)
+}
 
+// syrkDiagMinDepth/syrkDiagMinWidth gate the scratch-GEMM diagonal path: a
+// diagonal block only pays the ~2× flop overhead of computing its full
+// square when the microkernel's rate more than wins it back.
+const (
+	syrkDiagMinDepth = 32
+	syrkDiagMinWidth = 8
+)
+
+// syrkView accumulates C(triangle) += alpha · A·Aᵀ over the dense row-major
+// view ad/lda holding n rows of depth k, writing only the uplo triangle of
+// cdata/ldc (beta and transposes have been handled by the caller). Also the
+// trailing-update kernel of the blocked Cholesky.
+func syrkView(uplo Uplo, alpha float64, ad []float64, lda, n, k int, cdata []float64, ldc int) {
 	for j0 := 0; j0 < n; j0 += syrkBlock {
 		j1 := j0 + syrkBlock
 		if j1 > n {
 			j1 = n
 		}
 		// Off-diagonal panel: a plain GEMM block C[rows][j0:j1] +=
-		// alpha·op(A)[rows]·op(A)[j0:j1]ᵀ through the blocked kernel.
+		// alpha·A[rows]·A[j0:j1]ᵀ through the blocked kernel.
 		rows := opView{data: ad[j0*lda:], ld: lda, trans: true}
 		if uplo == Lower && j1 < n {
 			gemmView(alpha,
 				opView{data: ad[j1*lda:], ld: lda},
 				rows,
-				n-j1, j1-j0, k, c.Data[j1*c.Cols+j0:], c.Cols)
+				n-j1, j1-j0, k, cdata[j1*ldc+j0:], ldc)
 		}
 		if uplo == Upper && j0 > 0 {
 			gemmView(alpha,
 				opView{data: ad, ld: lda},
 				rows,
-				j0, j1-j0, k, c.Data[j0:], c.Cols)
+				j0, j1-j0, k, cdata[j0:], ldc)
 		}
-		// Diagonal triangle: scalar dot products over contiguous rows.
+		bw := j1 - j0
+		if k >= syrkDiagMinDepth && bw >= syrkDiagMinWidth {
+			// Diagonal block: full bw×bw square through the microkernel into
+			// a zeroed scratch block, then fold only the triangle into C.
+			buf := getPackBuf(bw * bw)
+			s := *buf
+			for i := range s {
+				s[i] = 0
+			}
+			gemmView(alpha,
+				opView{data: ad[j0*lda:], ld: lda},
+				rows,
+				bw, bw, k, s, bw)
+			for i := 0; i < bw; i++ {
+				crow := cdata[(j0+i)*ldc : (j0+i)*ldc+n]
+				srow := s[i*bw : i*bw+bw]
+				if uplo == Lower {
+					for j := 0; j <= i; j++ {
+						crow[j0+j] += srow[j]
+					}
+				} else {
+					for j := i; j < bw; j++ {
+						crow[j0+j] += srow[j]
+					}
+				}
+			}
+			packBuf.Put(buf)
+			continue
+		}
+		// Shallow diagonal triangle: scalar dot products over contiguous rows.
 		for i := j0; i < j1; i++ {
 			ri := ad[i*lda : i*lda+k]
-			crow := c.Row(i)
+			crow := cdata[i*ldc : i*ldc+n]
 			var lo, hi int
 			if uplo == Lower {
 				lo, hi = j0, i
@@ -235,10 +281,6 @@ func Syrk(uplo Uplo, trans Trans, alpha float64, a *Tile, beta float64, c *Tile)
 	}
 }
 
-// trsmRB is the row-block width of the right-side TRSM: each row of op(A)
-// streams once per block of B rows instead of once per row.
-const trsmRB = 8
-
 // Trsm solves a triangular system in place:
 //
 //	side == Left:  op(A) · X = alpha·B,  X overwrites B
@@ -247,7 +289,10 @@ const trsmRB = 8
 // where A is triangular per uplo/diag. This is the panel-solve kernel: LU
 // uses (Left, Lower, NoTrans, Unit) for row panels and (Right, Upper,
 // NoTrans, NonUnit) for column panels; Cholesky uses (Right, Lower, TransT,
-// NonUnit).
+// NonUnit). All four side/uplo paths are blocked (trsm_blocked.go): scalar
+// substitution runs only on trsmNB×trsmNB diagonal blocks and the remaining
+// O(n²·rhs) work is packed GEMM. With alpha == 0, B is zero-filled and
+// returned without reading A (matching Gemm's beta == 0 contract).
 func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Tile) {
 	if a.Rows != a.Cols {
 		panic("tile: Trsm needs a square triangular tile")
@@ -256,6 +301,10 @@ func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Til
 	if (side == Left && b.Rows != n) || (side == Right && b.Cols != n) {
 		panic(fmt.Sprintf("tile: Trsm shape mismatch: A=%dx%d B=%dx%d side=%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, side))
+	}
+	if alpha == 0 {
+		b.Zero()
+		return
 	}
 	if alpha != 1 {
 		for i := range b.Data {
@@ -284,106 +333,5 @@ func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Til
 			effUplo = Lower
 		}
 	}
-
-	switch {
-	case side == Left && effUplo == Lower:
-		// Forward substitution on each column of B, row-sliced.
-		for i := 0; i < n; i++ {
-			bi := b.Row(i)
-			ai := ad[i*lda : i*lda+n]
-			for k := 0; k < i; k++ {
-				f := ai[k]
-				if f == 0 {
-					continue
-				}
-				bk := b.Row(k)
-				for j := range bi {
-					bi[j] -= f * bk[j]
-				}
-			}
-			if diag == NonUnit {
-				d := ai[i]
-				for j := range bi {
-					bi[j] /= d
-				}
-			}
-		}
-	case side == Left && effUplo == Upper:
-		for i := n - 1; i >= 0; i-- {
-			bi := b.Row(i)
-			ai := ad[i*lda : i*lda+n]
-			for k := i + 1; k < n; k++ {
-				f := ai[k]
-				if f == 0 {
-					continue
-				}
-				bk := b.Row(k)
-				for j := range bi {
-					bi[j] -= f * bk[j]
-				}
-			}
-			if diag == NonUnit {
-				d := ai[i]
-				for j := range bi {
-					bi[j] /= d
-				}
-			}
-		}
-	case side == Right && effUplo == Lower:
-		// X·A = B with A lower: each B row solves independently, columns
-		// right to left; rows run in blocks so every op(A) row streams once
-		// per block instead of once per B row.
-		for r0 := 0; r0 < b.Rows; r0 += trsmRB {
-			r1 := r0 + trsmRB
-			if r1 > b.Rows {
-				r1 = b.Rows
-			}
-			for j := n - 1; j >= 0; j-- {
-				aj := ad[j*lda : j*lda+n]
-				d := aj[j]
-				for r := r0; r < r1; r++ {
-					br := b.Row(r)
-					if diag == NonUnit {
-						br[j] /= d
-					}
-					f := br[j]
-					if f == 0 {
-						continue
-					}
-					head := br[:j]
-					ah := aj[:j]
-					for idx := range head {
-						head[idx] -= f * ah[idx]
-					}
-				}
-			}
-		}
-	default: // side == Right && effUplo == Upper
-		// X·A = B with A upper: columns left to right, same row blocking.
-		for r0 := 0; r0 < b.Rows; r0 += trsmRB {
-			r1 := r0 + trsmRB
-			if r1 > b.Rows {
-				r1 = b.Rows
-			}
-			for j := 0; j < n; j++ {
-				aj := ad[j*lda : j*lda+n]
-				d := aj[j]
-				for r := r0; r < r1; r++ {
-					br := b.Row(r)
-					if diag == NonUnit {
-						br[j] /= d
-					}
-					f := br[j]
-					if f == 0 {
-						continue
-					}
-					tail := br[j+1:]
-					at := aj[j+1:]
-					for idx := range tail {
-						tail[idx] -= f * at[idx]
-					}
-				}
-			}
-		}
-	}
+	trsmBlockedView(side, effUplo, diag, ad, lda, n, b.Data, b.Cols, b.Rows, b.Cols)
 }

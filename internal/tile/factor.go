@@ -3,7 +3,6 @@ package tile
 import (
 	"errors"
 	"fmt"
-	"math"
 )
 
 // ErrNotPositiveDefinite is returned by Potrf when a leading minor is not
@@ -14,36 +13,25 @@ var ErrNotPositiveDefinite = errors.New("tile: matrix not positive definite")
 // pivot is encountered; the unpivoted factorization cannot continue.
 var ErrZeroPivot = errors.New("tile: zero pivot in unpivoted LU")
 
+// ErrShape is returned by Getrf and Potrf when the tile is not square.
+// Shape violations surface as errors (not panics) so a malformed task
+// aborts the distributed run through the usual kernel-error path.
+var ErrShape = errors.New("tile: invalid tile shape")
+
 // Potrf computes the Cholesky factorization A = L·Lᵀ of a symmetric positive
 // definite tile in place, using only the lower triangle. On return the lower
 // triangle of A holds L; the strictly upper triangle is left untouched.
 // This is the diagonal-tile kernel of the tiled Cholesky factorization.
+//
+// The implementation is blocked (factor_blocked.go): scalar Cholesky runs
+// only on factorNB-wide diagonal blocks; the panel solve goes through the
+// blocked TRSM and the trailing update through the packed SYRK/GEMM
+// microkernel machinery.
 func Potrf(a *Tile) error {
 	if a.Rows != a.Cols {
-		panic(fmt.Sprintf("tile: Potrf needs a square tile, got %dx%d", a.Rows, a.Cols))
+		return fmt.Errorf("%w: Potrf needs a square tile, got %dx%d", ErrShape, a.Rows, a.Cols)
 	}
-	n := a.Rows
-	for k := 0; k < n; k++ {
-		d := a.At(k, k)
-		if d <= 0 || math.IsNaN(d) || math.IsInf(d, 0) {
-			return fmt.Errorf("%w (leading minor %d, pivot %g)", ErrNotPositiveDefinite, k+1, d)
-		}
-		d = math.Sqrt(d)
-		a.Set(k, k, d)
-		for i := k + 1; i < n; i++ {
-			a.Set(i, k, a.At(i, k)/d)
-		}
-		for j := k + 1; j < n; j++ {
-			f := a.At(j, k)
-			if f == 0 {
-				continue
-			}
-			for i := j; i < n; i++ {
-				a.Data[i*a.Cols+j] -= a.At(i, k) * f
-			}
-		}
-	}
-	return nil
+	return potrfBlocked(a)
 }
 
 // Getrf computes the unpivoted LU factorization A = L·U in place: on return
@@ -51,30 +39,15 @@ func Potrf(a *Tile) error {
 // the upper triangle (with diagonal) holds U. The paper's communication
 // analysis covers the right-looking unpivoted variant; callers must supply
 // matrices for which pivoting is unnecessary (e.g. diagonally dominant).
+//
+// The implementation is blocked (factor_blocked.go): a recursive scalar
+// panel factorization, a blocked-TRSM row-panel solve, and a packed-GEMM
+// trailing update carry the O(n³) bulk at the microkernel's rate.
 func Getrf(a *Tile) error {
 	if a.Rows != a.Cols {
-		panic(fmt.Sprintf("tile: Getrf needs a square tile, got %dx%d", a.Rows, a.Cols))
+		return fmt.Errorf("%w: Getrf needs a square tile, got %dx%d", ErrShape, a.Rows, a.Cols)
 	}
-	n := a.Rows
-	for k := 0; k < n; k++ {
-		p := a.At(k, k)
-		if p == 0 || math.IsNaN(p) || math.IsInf(p, 0) {
-			return fmt.Errorf("%w (step %d, pivot %g)", ErrZeroPivot, k+1, p)
-		}
-		ak := a.Row(k)
-		for i := k + 1; i < n; i++ {
-			ai := a.Row(i)
-			f := ai[k] / p
-			ai[k] = f
-			if f == 0 {
-				continue
-			}
-			for j := k + 1; j < n; j++ {
-				ai[j] -= f * ak[j]
-			}
-		}
-	}
-	return nil
+	return getrfBlocked(a)
 }
 
 // Flops returns the floating-point operation counts of the four kernels for

@@ -108,19 +108,16 @@ func TestGetrfRejectsZeroPivot(t *testing.T) {
 	}
 }
 
-func TestFactorPanicsOnRect(t *testing.T) {
-	for _, f := range []func(){
-		func() { _ = Potrf(New(2, 3)) },
-		func() { _ = Getrf(New(3, 2)) },
+func TestFactorRejectsRect(t *testing.T) {
+	// Shape violations are errors, not panics, so a malformed task aborts a
+	// distributed run through the kernel-error path (PR 3 policy).
+	for _, f := range []func() error{
+		func() error { return Potrf(New(2, 3)) },
+		func() error { return Getrf(New(3, 2)) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("rectangular factor did not panic")
-				}
-			}()
-			f()
-		}()
+		if err := f(); !errors.Is(err, ErrShape) {
+			t.Errorf("rectangular factor: err = %v, want ErrShape", err)
+		}
 	}
 }
 

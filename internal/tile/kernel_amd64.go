@@ -24,6 +24,20 @@ func cpuHasAVX2FMA() bool
 //go:noescape
 func fmaMicro4x8(ap, bp *float64, kb int, alpha float64, c *float64, ldc int)
 
+// MicroKernelName identifies the GEMM microkernel selected at startup, for
+// benchmark metadata: results are only comparable across boxes that ran the
+// same kernel.
+func MicroKernelName() string {
+	if hasAVX2FMA {
+		return "avx2+fma 4x8"
+	}
+	return "scalar 4x8"
+}
+
+// MicroKernelAccelerated reports whether the SIMD microkernel is in use
+// (false on CPUs or builds where the runtime fell back to the scalar block).
+func MicroKernelAccelerated() bool { return hasAVX2FMA }
+
 // microKernel applies one gemmMR×gemmNR register-tiled block update over
 // packed strips ap (MR-interleaved) and bp (NR-interleaved).
 func microKernel(ap, bp []float64, kb int, alpha float64, c []float64, ldc int) {

@@ -9,6 +9,14 @@ const (
 	gemmNR = 4
 )
 
+// MicroKernelName identifies the GEMM microkernel selected at startup, for
+// benchmark metadata.
+func MicroKernelName() string { return "scalar 2x4" }
+
+// MicroKernelAccelerated reports whether a SIMD microkernel is in use;
+// always false on architectures without an assembly kernel.
+func MicroKernelAccelerated() bool { return false }
+
 // microKernel applies one 2×4 register-tiled block update over packed strips
 // ap (MR-interleaved) and bp (NR-interleaved): eight independent multiply-add
 // chains, enough ILP to saturate a scalar FPU.

@@ -9,8 +9,12 @@
 // kernel (gemm_blocked.go): operands are packed into strip panels and a
 // fixed-size microkernel accumulates a small C block in registers — an
 // AVX2+FMA assembly kernel on amd64 (CPUID-gated, kernel_amd64.s), a pure-Go
-// block elsewhere. SYRK and TRSM reuse the same machinery where their access
-// patterns allow. The discrete-event simulator models kernel *time* with a
+// block elsewhere. The remaining kernels are blocked algorithms over the same
+// packed machinery: TRSM solves only small diagonal blocks by scalar
+// substitution (trsm_blocked.go), SYRK runs off-diagonal panels and diagonal
+// blocks at GEMM rate, and GETRF/POTRF are blocked right-looking
+// factorizations whose trailing updates are packed GEMM/SYRK calls
+// (factor_blocked.go). The discrete-event simulator models kernel *time* with a
 // calibrated machine model, while these implementations provide the
 // *numerics* for the real distributed execution used in tests and examples.
 package tile

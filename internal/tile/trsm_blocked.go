@@ -1,0 +1,212 @@
+package tile
+
+// Blocked triangular solve. The n×n triangular operand is processed in
+// trsmNB-wide diagonal blocks: only the nb×nb block straddling the diagonal
+// is solved by scalar substitution, every off-diagonal contribution is a
+// packed GEMM through gemmView/microKernel — the same left-looking
+// formulation LAPACK's xTRSM uses, so the O(n²·rhs) bulk runs at the
+// microkernel's rate while the scalar work shrinks to O(nb·n·rhs).
+//
+// All drivers operate on the *effective* operand: the caller has already
+// folded any transpose into the (ad, lda) view (flipping uplo), so only the
+// four (side, effUplo) cases remain.
+
+// trsmNB is the width of the diagonal blocks the blocked TRSM solves by
+// scalar substitution; everything off-diagonal goes through the packed GEMM.
+// Small enough that the scalar share (~nb/n of the flops) stays minor at the
+// paper's tile size, large enough that each GEMM panel amortizes packing.
+const trsmNB = 24
+
+// trsmRB is the row-block width of the right-side scalar substitution: each
+// row of the triangular operand streams once per block of B rows instead of
+// once per row.
+const trsmRB = 8
+
+// trsmBlockedView solves a triangular system in place over dense views:
+//
+//	side == Left:  A · X = B, A is n×n, B/X is brows×bcols with brows == n
+//	side == Right: X · A = B, A is n×n, B/X is brows×bcols with bcols == n
+//
+// where A is the effUplo triangle (diag per diag) of the row-major view
+// ad/lda and B occupies the row-major view bd/ldb. Any transpose has been
+// folded into the view by the caller.
+func trsmBlockedView(side Side, effUplo Uplo, diag Diag, ad []float64, lda, n int, bd []float64, ldb, brows, bcols int) {
+	if n <= trsmNB {
+		trsmScalarView(side, effUplo, diag, ad, lda, n, bd, ldb, brows, bcols)
+		return
+	}
+	switch {
+	case side == Left && effUplo == Lower:
+		// Forward block substitution: subtract the already-solved rows, then
+		// solve the diagonal block.
+		for k0 := 0; k0 < n; k0 += trsmNB {
+			k1 := k0 + trsmNB
+			if k1 > n {
+				k1 = n
+			}
+			if k0 > 0 {
+				gemmView(-1,
+					opView{data: ad[k0*lda:], ld: lda},
+					opView{data: bd, ld: ldb},
+					k1-k0, bcols, k0, bd[k0*ldb:], ldb)
+			}
+			trsmScalarView(Left, Lower, diag, ad[k0*lda+k0:], lda, k1-k0,
+				bd[k0*ldb:], ldb, k1-k0, bcols)
+		}
+	case side == Left && effUplo == Upper:
+		// Backward block substitution, bottom block first.
+		for k1 := n; k1 > 0; k1 -= trsmNB {
+			k0 := k1 - trsmNB
+			if k0 < 0 {
+				k0 = 0
+			}
+			if k1 < n {
+				gemmView(-1,
+					opView{data: ad[k0*lda+k1:], ld: lda},
+					opView{data: bd[k1*ldb:], ld: ldb},
+					k1-k0, bcols, n-k1, bd[k0*ldb:], ldb)
+			}
+			trsmScalarView(Left, Upper, diag, ad[k0*lda+k0:], lda, k1-k0,
+				bd[k0*ldb:], ldb, k1-k0, bcols)
+		}
+	case side == Right && effUplo == Lower:
+		// X·A = B with A lower: column blocks right to left; each block first
+		// subtracts the contribution of the already-solved columns to its
+		// right, B[:, k0:k1] -= X[:, k1:n] · A[k1:n, k0:k1].
+		for k1 := n; k1 > 0; k1 -= trsmNB {
+			k0 := k1 - trsmNB
+			if k0 < 0 {
+				k0 = 0
+			}
+			if k1 < n {
+				gemmView(-1,
+					opView{data: bd[k1:], ld: ldb},
+					opView{data: ad[k1*lda+k0:], ld: lda},
+					brows, k1-k0, n-k1, bd[k0:], ldb)
+			}
+			trsmScalarView(Right, Lower, diag, ad[k0*lda+k0:], lda, k1-k0,
+				bd[k0:], ldb, brows, k1-k0)
+		}
+	default: // side == Right && effUplo == Upper
+		// Column blocks left to right: B[:, k0:k1] -= X[:, 0:k0] · A[0:k0, k0:k1].
+		for k0 := 0; k0 < n; k0 += trsmNB {
+			k1 := k0 + trsmNB
+			if k1 > n {
+				k1 = n
+			}
+			if k0 > 0 {
+				gemmView(-1,
+					opView{data: bd, ld: ldb},
+					opView{data: ad[k0:], ld: lda},
+					brows, k1-k0, k0, bd[k0:], ldb)
+			}
+			trsmScalarView(Right, Upper, diag, ad[k0*lda+k0:], lda, k1-k0,
+				bd[k0:], ldb, brows, k1-k0)
+		}
+	}
+}
+
+// trsmScalarView is the substitution solve the blocked driver applies to
+// nb×nb diagonal blocks (and that small whole tiles fall through to). The
+// left side streams B rows; the right side runs trsmRB row blocks so every
+// triangular row loads once per block of B rows.
+func trsmScalarView(side Side, effUplo Uplo, diag Diag, ad []float64, lda, n int, bd []float64, ldb, brows, bcols int) {
+	switch {
+	case side == Left && effUplo == Lower:
+		for i := 0; i < n; i++ {
+			bi := bd[i*ldb : i*ldb+bcols]
+			ai := ad[i*lda : i*lda+n]
+			for k := 0; k < i; k++ {
+				f := ai[k]
+				if f == 0 {
+					continue
+				}
+				bk := bd[k*ldb : k*ldb+bcols]
+				for j := range bi {
+					bi[j] -= f * bk[j]
+				}
+			}
+			if diag == NonUnit {
+				d := ai[i]
+				for j := range bi {
+					bi[j] /= d
+				}
+			}
+		}
+	case side == Left && effUplo == Upper:
+		for i := n - 1; i >= 0; i-- {
+			bi := bd[i*ldb : i*ldb+bcols]
+			ai := ad[i*lda : i*lda+n]
+			for k := i + 1; k < n; k++ {
+				f := ai[k]
+				if f == 0 {
+					continue
+				}
+				bk := bd[k*ldb : k*ldb+bcols]
+				for j := range bi {
+					bi[j] -= f * bk[j]
+				}
+			}
+			if diag == NonUnit {
+				d := ai[i]
+				for j := range bi {
+					bi[j] /= d
+				}
+			}
+		}
+	case side == Right && effUplo == Lower:
+		// X·A = B with A lower: each B row solves independently, columns
+		// right to left.
+		for r0 := 0; r0 < brows; r0 += trsmRB {
+			r1 := r0 + trsmRB
+			if r1 > brows {
+				r1 = brows
+			}
+			for j := n - 1; j >= 0; j-- {
+				aj := ad[j*lda : j*lda+n]
+				d := aj[j]
+				for r := r0; r < r1; r++ {
+					br := bd[r*ldb : r*ldb+bcols]
+					if diag == NonUnit {
+						br[j] /= d
+					}
+					f := br[j]
+					if f == 0 {
+						continue
+					}
+					head := br[:j]
+					ah := aj[:j]
+					for idx := range head {
+						head[idx] -= f * ah[idx]
+					}
+				}
+			}
+		}
+	default: // side == Right && effUplo == Upper
+		for r0 := 0; r0 < brows; r0 += trsmRB {
+			r1 := r0 + trsmRB
+			if r1 > brows {
+				r1 = brows
+			}
+			for j := 0; j < n; j++ {
+				aj := ad[j*lda : j*lda+n]
+				d := aj[j]
+				for r := r0; r < r1; r++ {
+					br := bd[r*ldb : r*ldb+bcols]
+					if diag == NonUnit {
+						br[j] /= d
+					}
+					f := br[j]
+					if f == 0 {
+						continue
+					}
+					tail := br[j+1 : n]
+					at := aj[j+1 : n]
+					for idx := range tail {
+						tail[idx] -= f * at[idx]
+					}
+				}
+			}
+		}
+	}
+}
