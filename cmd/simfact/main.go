@@ -13,6 +13,13 @@
 //
 //	simfact -gantt out -p 23 -n 25000            # simulated trace
 //	simfact -gantt out -real -p 23 -n 512 -tb 16 # wall-clock trace
+//
+// With -real, -chaos-seed N additionally injects the deterministic fault
+// plan chaos.DefaultConfig(N) (delays, reorders, duplicates, drops healed by
+// re-requests) and writes the injected faults to <prefix>-faults.csv; the
+// same seed reproduces the same faults.
+//
+//	simfact -gantt out -real -chaos-seed 7 -p 23 -n 512 -tb 16
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"io"
 	"os"
 
+	"anybc/internal/chaos"
 	"anybc/internal/core"
 	"anybc/internal/dag"
 	"anybc/internal/experiments"
@@ -44,13 +52,14 @@ func main() {
 		real   = flag.Bool("real", false, "gantt mode: trace a real numeric run on the virtual cluster instead of a simulation")
 		tb     = flag.Int("tb", 16, "gantt -real mode: tile size in elements")
 		work   = flag.Int("workers", 2, "gantt -real mode: worker goroutines per node")
+		cseed  = flag.Int64("chaos-seed", -1, "gantt -real mode: inject the deterministic fault plan of this seed (-1 disables)")
 	)
 	flag.Parse()
 
 	if *gantt != "" {
 		var err error
 		if *real {
-			err = runGanttReal(*gantt, *p, *n, *tb, *work, *scheme, *kernel)
+			err = runGanttReal(*gantt, *p, *n, *tb, *work, *scheme, *kernel, *cseed)
 		} else {
 			err = runGantt(*gantt, *p, *n, *scheme, *kernel)
 		}
@@ -153,7 +162,7 @@ func runGantt(prefix string, p, n int, scheme, kernel string) error {
 // runGanttReal executes one real (numeric) factorization on the virtual
 // cluster with wall-clock tracing and writes the same CSV pair as the
 // simulated mode, plus working-set statistics from the release path.
-func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string) error {
+func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, chaosSeed int64) error {
 	mt := n / b
 	if mt < 2 {
 		return fmt.Errorf("matrix size %d below two %d-element tiles", n, b)
@@ -166,6 +175,13 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string) er
 	}
 	rec := &trace.Recorder{}
 	opt := runtime.Options{Workers: workers, Recorder: rec}
+	var plan *chaos.Plan
+	if chaosSeed >= 0 {
+		if plan, err = chaos.New(chaos.DefaultConfig(chaosSeed)); err != nil {
+			return err
+		}
+		opt.Chaos = plan
+	}
 	var rep *runtime.Report
 	var name string
 	switch kernel {
@@ -223,6 +239,30 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string) er
 	}
 	fmt.Println()
 	fmt.Printf("kernel time breakdown: %v\n", rec.KindBreakdown())
+	if plan != nil {
+		fmt.Printf("chaos seed %d injected faults: %v\n", chaosSeed, plan.Counts())
+		reReq, redelivered, recovered := 0, 0, 0
+		for _, rs := range rep.Resilience {
+			reReq += rs.ReRequests
+			redelivered += rs.Redelivered
+			recovered += rs.Recovered
+		}
+		fmt.Printf("healing: %d re-requests, %d redeliveries served, %d arrivals recovered\n",
+			reReq, redelivered, recovered)
+		f, err := os.Create(prefix + "-faults.csv")
+		if err != nil {
+			return err
+		}
+		if err := rec.FaultsCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s-gantt.csv, %s-messages.csv and %s-faults.csv\n", prefix, prefix, prefix)
+		return nil
+	}
 	fmt.Printf("wrote %s-gantt.csv and %s-messages.csv\n", prefix, prefix)
 	return nil
 }

@@ -1,0 +1,442 @@
+// Package chaos injects deterministic network faults into the virtual
+// cluster through the cluster.Network seam: per-message delays sampled from
+// a seeded distribution, within-pair reordering, duplicate deliveries,
+// transient drops redelivered after a timeout, permanent drops (healed only
+// by the runtime's re-request protocol), and node crashes at a chosen task
+// index (which exercise the comm.Abort poisoning path).
+//
+// # Determinism
+//
+// Reproducibility is the whole point: the same Config must produce the same
+// faults no matter how goroutines interleave. A single shared random stream
+// cannot give that — the order in which concurrent sends would consume it is
+// scheduler-dependent — so the plan derives every decision from a pure
+// function of (Config.Seed, message identity), where the identity is the
+// (From, To, Tag, control-bit, attempt) tuple and attempt counts repeated
+// sends of the same identity (redeliveries, request retries). The attempt
+// counters are the plan's logical delivery clock: they advance per identity,
+// not per wall-clock arrival, so two runs of the same workload draw
+// identical verdicts for every message even though their wall-clock
+// interleavings differ. Events() exposes the canonical, identity-sorted
+// fault log and Fingerprint() hashes it, which is what the determinism
+// regression tests compare across runs.
+//
+// A Plan carries per-run state (attempt counters, reorder holds, the event
+// log): create a fresh Plan from the same Config for every run you want to
+// reproduce.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"anybc/internal/cluster"
+	"anybc/internal/trace"
+)
+
+// ErrInjectedCrash is the root cause carried by a node that the fault plan
+// crashed at its configured task index. The runtime reports it through the
+// same joined-error path as a genuine kernel failure.
+var ErrInjectedCrash = errors.New("chaos: injected node crash")
+
+// Config describes one deterministic fault plan. All probabilities are in
+// [0, 1] and are drawn independently per message identity; the class
+// probabilities (PDrop, PDropRedeliver, PDuplicate) partition one draw and
+// must sum to at most 1. PDrop must stay below 1 so that request retries
+// eventually get through and every run terminates.
+type Config struct {
+	// Seed drives every sampled decision.
+	Seed int64
+
+	// PDelay delays a delivery by a uniform interval in (0, MaxDelay].
+	PDelay   float64
+	MaxDelay time.Duration // default 2ms
+
+	// PReorder holds a message until the next message on the same
+	// (src, dst) pair is sent, then delivers the two in swapped order —
+	// a deterministic inversion of the pair's FIFO order. A held message
+	// with no successor is flushed after ReorderFlush.
+	PReorder     float64
+	ReorderFlush time.Duration // default 25ms
+
+	// PDuplicate delivers the message twice, the copy after a sampled
+	// delay, exercising the receiver's idempotent duplicate drop.
+	PDuplicate float64
+
+	// PDrop loses the delivery permanently: only the runtime's
+	// arrival-timeout re-request can heal it.
+	PDrop float64
+
+	// PDropRedeliver loses the delivery transiently: the transport itself
+	// redelivers after RedeliverAfter, modelling a retransmit.
+	PDropRedeliver float64
+	RedeliverAfter time.Duration // default 20ms
+
+	// CrashAtTask maps a node rank to the index (0-based, in dispatch
+	// order) of the owned task just before which the node crashes: it
+	// stops dispatching, poisons the cluster, and reports
+	// ErrInjectedCrash. A rank whose index exceeds its owned-task count
+	// never crashes.
+	CrashAtTask map[int]int
+}
+
+// withDefaults fills the zero durations.
+func (c Config) withDefaults() Config {
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.ReorderFlush <= 0 {
+		c.ReorderFlush = 25 * time.Millisecond
+	}
+	if c.RedeliverAfter <= 0 {
+		c.RedeliverAfter = 20 * time.Millisecond
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"PDelay", c.PDelay}, {"PReorder", c.PReorder},
+		{"PDuplicate", c.PDuplicate}, {"PDrop", c.PDrop},
+		{"PDropRedeliver", c.PDropRedeliver},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: %s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if s := c.PDrop + c.PDropRedeliver + c.PDuplicate; s > 1 {
+		return fmt.Errorf("chaos: class probabilities sum to %v > 1", s)
+	}
+	if c.PDrop >= 1 {
+		return fmt.Errorf("chaos: PDrop = %v; must stay below 1 or re-request retries can never heal", c.PDrop)
+	}
+	return nil
+}
+
+// DefaultConfig is a moderate all-faults mix for the given seed: occasional
+// delays, reorders and duplicates, a few permanent drops (healed by the
+// runtime's re-requests) and transient drops (redelivered by the transport).
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:           seed,
+		PDelay:         0.20,
+		PReorder:       0.10,
+		PDuplicate:     0.05,
+		PDrop:          0.02,
+		PDropRedeliver: 0.05,
+	}.withDefaults()
+}
+
+// identity names one message for the decision function: who sent what to
+// whom, whether it is a control request, and the attempt number for repeats.
+type identity struct {
+	from, to int
+	tag      cluster.Tag
+	ctrl     bool
+}
+
+type pairKey struct{ from, to int }
+
+// Event is one canonical fault-log entry: the deterministic verdict for one
+// message identity. Sampled delays are recorded in microseconds so the log
+// captures the full delivery schedule, not just the fault class.
+type Event struct {
+	Kind     string // "delay", "reorder", "duplicate", "drop", "drop-redeliver", "crash"
+	From, To int
+	Tag      cluster.Tag
+	Ctrl     bool
+	Attempt  int
+	DelayUS  int64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %d->%d tag(%d,%d)v%d ctrl=%v attempt=%d delay=%dus",
+		e.Kind, e.From, e.To, e.Tag.I, e.Tag.J, e.Tag.V, e.Ctrl, e.Attempt, e.DelayUS)
+}
+
+// held is a message parked by a reorder fault, waiting for its swap partner.
+type held struct {
+	msg     cluster.Message
+	deliver func(cluster.Message)
+	timer   *time.Timer
+}
+
+// Plan is one run's fault injector; it implements cluster.Network. Safe for
+// concurrent use by every sender goroutine.
+type Plan struct {
+	cfg Config
+
+	mu       sync.Mutex
+	attempts map[identity]int
+	holds    map[pairKey]*held
+	events   []Event
+	counts   map[string]int
+
+	rec   *trace.Recorder
+	epoch time.Time
+}
+
+// New validates cfg and builds a fresh plan for one run.
+func New(cfg Config) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Plan{
+		cfg:      cfg,
+		attempts: make(map[identity]int),
+		holds:    make(map[pairKey]*held),
+		counts:   make(map[string]int),
+	}, nil
+}
+
+// Config returns the plan's (default-filled) configuration.
+func (p *Plan) Config() Config { return p.cfg }
+
+// Bind attaches a trace recorder: every injected fault is recorded as a
+// timed trace.FaultEvent relative to epoch, next to the kernel and message
+// timelines, so simfact -gantt -real can show faults on the same axis.
+func (p *Plan) Bind(rec *trace.Recorder, epoch time.Time) {
+	p.mu.Lock()
+	p.rec = rec
+	p.epoch = epoch
+	p.mu.Unlock()
+}
+
+// CrashTask returns the owned-task index at which rank must crash, or -1.
+func (p *Plan) CrashTask(rank int) int {
+	n, ok := p.cfg.CrashAtTask[rank]
+	if !ok {
+		return -1
+	}
+	return n
+}
+
+// RecordCrash logs the injected crash of rank (called by the runtime at the
+// moment it stops dispatching).
+func (p *Plan) RecordCrash(rank, taskIndex int) {
+	p.note(Event{Kind: "crash", From: rank, To: rank, Attempt: taskIndex})
+}
+
+// rngFor derives the per-identity random stream: a 64-bit FNV-1a hash of
+// (seed, identity, attempt) seeds a private PRNG, so the draw sequence for
+// one message is independent of every other message and of arrival order.
+func (p *Plan) rngFor(id identity, attempt int) *rand.Rand {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(uint64(p.cfg.Seed))
+	put(uint64(id.from)<<32 | uint64(uint32(id.to)))
+	put(uint64(uint32(id.tag.I))<<32 | uint64(uint32(id.tag.J)))
+	put(uint64(uint32(id.tag.V)))
+	if id.ctrl {
+		put(1)
+	} else {
+		put(0)
+	}
+	put(uint64(attempt))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// note appends ev to the log, tallies it, and mirrors it into the bound
+// trace recorder.
+func (p *Plan) note(ev Event) {
+	p.mu.Lock()
+	p.events = append(p.events, ev)
+	p.counts[ev.Kind]++
+	rec, epoch := p.rec, p.epoch
+	p.mu.Unlock()
+	if rec != nil {
+		tagStr := fmt.Sprintf("(%d,%d)v%d", ev.Tag.I, ev.Tag.J, ev.Tag.V)
+		if ev.Ctrl {
+			tagStr = "req" + tagStr
+		}
+		rec.RecordFault(ev.Kind, ev.From, ev.To, tagStr, time.Since(epoch).Seconds())
+	}
+}
+
+// Deliver implements cluster.Network: it draws the message's verdict from
+// the seeded decision function and applies it. Draw order is fixed (class,
+// then delay, then reorder) so verdicts are reproducible.
+func (p *Plan) Deliver(msg cluster.Message, deliver func(cluster.Message)) {
+	id := identity{from: msg.From, to: msg.To, tag: msg.Tag, ctrl: msg.Req}
+	key := pairKey{from: msg.From, to: msg.To}
+
+	p.mu.Lock()
+	attempt := p.attempts[id]
+	p.attempts[id] = attempt + 1
+	// The swap partner of a pending reorder hold on this pair: released
+	// after the current message, inverting the pair's FIFO order.
+	var prev *held
+	if h, ok := p.holds[key]; ok {
+		delete(p.holds, key)
+		h.timer.Stop()
+		prev = h
+	}
+	p.mu.Unlock()
+
+	r := p.rngFor(id, attempt)
+	ev := Event{From: msg.From, To: msg.To, Tag: msg.Tag, Ctrl: msg.Req, Attempt: attempt}
+
+	// Class draw: drop / transient drop / duplicate partition one uniform.
+	u := r.Float64()
+	switch {
+	case u < p.cfg.PDrop:
+		ev.Kind = "drop"
+		p.note(ev)
+		msg.Release()
+		p.flush(prev)
+		return
+	case u < p.cfg.PDrop+p.cfg.PDropRedeliver:
+		ev.Kind = "drop-redeliver"
+		ev.DelayUS = p.cfg.RedeliverAfter.Microseconds()
+		p.note(ev)
+		time.AfterFunc(p.cfg.RedeliverAfter, func() { deliver(msg) })
+		p.flush(prev)
+		return
+	case u < p.cfg.PDrop+p.cfg.PDropRedeliver+p.cfg.PDuplicate:
+		d := p.sampleDelay(r)
+		ev2 := ev
+		ev2.Kind = "duplicate"
+		ev2.DelayUS = d.Microseconds()
+		p.note(ev2)
+		dup := msg.Dup()
+		time.AfterFunc(d, func() { deliver(dup) })
+		// The original still goes through the delay/reorder draws below.
+	}
+
+	// Independent delay draw.
+	if r.Float64() < p.cfg.PDelay {
+		d := p.sampleDelay(r)
+		ev.Kind = "delay"
+		ev.DelayUS = d.Microseconds()
+		p.note(ev)
+		time.AfterFunc(d, func() { deliver(msg) })
+		p.flush(prev)
+		return
+	}
+
+	// Reorder draw: park the message to swap with the pair's next send. If
+	// a partner is already parked the swap is in progress — deliver now.
+	if prev == nil && r.Float64() < p.cfg.PReorder {
+		ev.Kind = "reorder"
+		p.note(ev)
+		h := &held{msg: msg, deliver: deliver}
+		h.timer = time.AfterFunc(p.cfg.ReorderFlush, func() { p.flushHold(key, h) })
+		p.mu.Lock()
+		p.holds[key] = h
+		p.mu.Unlock()
+		return
+	}
+
+	deliver(msg)
+	p.flush(prev)
+}
+
+// sampleDelay draws a uniform delay in (0, MaxDelay].
+func (p *Plan) sampleDelay(r *rand.Rand) time.Duration {
+	return time.Duration(1 + r.Int63n(int64(p.cfg.MaxDelay)))
+}
+
+// flush releases a reorder hold's message immediately.
+func (p *Plan) flush(h *held) {
+	if h != nil {
+		h.deliver(h.msg)
+	}
+}
+
+// flushHold is the reorder safety valve: if no swap partner ever follows on
+// the pair, the parked message is released after ReorderFlush instead of
+// being lost.
+func (p *Plan) flushHold(key pairKey, h *held) {
+	p.mu.Lock()
+	if p.holds[key] != h {
+		p.mu.Unlock()
+		return
+	}
+	delete(p.holds, key)
+	p.mu.Unlock()
+	h.deliver(h.msg)
+}
+
+// Flush releases every parked reorder hold immediately. The runtime calls it
+// at shutdown so no payload share is stranded in a hold.
+func (p *Plan) Flush() {
+	p.mu.Lock()
+	holds := make([]*held, 0, len(p.holds))
+	for key, h := range p.holds {
+		h.timer.Stop()
+		holds = append(holds, h)
+		delete(p.holds, key)
+	}
+	p.mu.Unlock()
+	for _, h := range holds {
+		h.deliver(h.msg)
+	}
+}
+
+// Events returns the canonical fault log: a copy sorted by message identity
+// (not by arrival order), so two runs of the same seeded workload produce
+// identical logs regardless of goroutine interleaving.
+func (p *Plan) Events() []Event {
+	p.mu.Lock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	p.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		switch {
+		case x.From != y.From:
+			return x.From < y.From
+		case x.To != y.To:
+			return x.To < y.To
+		case x.Tag.I != y.Tag.I:
+			return x.Tag.I < y.Tag.I
+		case x.Tag.J != y.Tag.J:
+			return x.Tag.J < y.Tag.J
+		case x.Tag.V != y.Tag.V:
+			return x.Tag.V < y.Tag.V
+		case x.Ctrl != y.Ctrl:
+			return !x.Ctrl
+		case x.Attempt != y.Attempt:
+			return x.Attempt < y.Attempt
+		default:
+			return x.Kind < y.Kind
+		}
+	})
+	return out
+}
+
+// Counts returns the number of injected faults by kind.
+func (p *Plan) Counts() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]int, len(p.counts))
+	for k, v := range p.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Fingerprint hashes the canonical fault log: equal fingerprints mean the
+// two runs drew the identical fault schedule for the identical message set.
+func (p *Plan) Fingerprint() string {
+	h := fnv.New64a()
+	for _, ev := range p.Events() {
+		fmt.Fprintln(h, ev.String())
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

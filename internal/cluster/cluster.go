@@ -37,11 +37,16 @@ type Tag struct {
 // destination: receivers must treat Payload as read-only and call Release
 // when done with it, which returns the buffer to the cluster's pool after
 // the last recipient lets go.
+//
+// A message with Req set carries no payload: it is a control message asking
+// the destination (the owner of the tagged tile) to re-send the published
+// version Tag, the healing half of the runtime's arrival-timeout protocol.
 type Message struct {
 	From, To int
 	Tag      Tag
 	Payload  *tile.Tile
 	SentAt   time.Time
+	Req      bool // version re-request control message (Payload is nil)
 	shared   *sharedPayload // nil for hand-built messages (tests)
 }
 
@@ -68,12 +73,32 @@ func (m *Message) Release() {
 	m.shared = nil
 }
 
+// Dup returns a second delivery of the same message sharing the payload
+// buffer: the reference count grows by one, so the copy must be Released by
+// its recipient exactly like the original. Fault-injecting networks use it
+// to model duplicate delivery without corrupting the pool. Hand-built
+// messages (no shared payload) are returned unchanged.
+func (m Message) Dup() Message {
+	if m.shared != nil {
+		m.shared.refs.Add(1)
+	}
+	return m
+}
+
 // mailbox is an unbounded FIFO queue; Send never blocks, which (together
 // with the acyclicity of the task graph) makes the runtime deadlock-free.
+// Because the queue is unbounded, backpressure is invisible unless measured:
+// peak tracks the high-water mark of queued messages for Stats.MailboxPeak.
+//
+// Locking discipline: state changes happen under mu, and the condition
+// variable is notified after unlock — the same order in put and close, so
+// neither path wakes a waiter that must then contend for the still-held
+// lock.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []Message
+	peak   int
 	closed bool
 }
 
@@ -90,10 +115,20 @@ func (m *mailbox) put(msg Message) bool {
 	ok := !m.closed
 	if ok {
 		m.queue = append(m.queue, msg)
+		if len(m.queue) > m.peak {
+			m.peak = len(m.queue)
+		}
 	}
 	m.mu.Unlock()
 	m.cond.Signal()
 	return ok
+}
+
+// highWater returns the queue-length high-water mark seen so far.
+func (m *mailbox) highWater() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
 }
 
 // get blocks until a message is available or the mailbox is closed.
@@ -120,30 +155,74 @@ func (m *mailbox) close() {
 	m.cond.Broadcast()
 }
 
-// Cluster is a set of P virtual nodes with an all-to-all network.
-type Cluster struct {
-	p        int
-	inboxes  []*mailbox
-	messages []atomic.Int64 // p*p counters, src*p+dst
-	bytes    []atomic.Int64
-	pool     tile.Pool // recycles send clones released by receivers
+// Network is the fault-injection seam. When a cluster is created with
+// NewWithNetwork, every point-to-point delivery — payload sends, control
+// requests and redeliveries alike — is routed through Deliver on its way to
+// the destination mailbox. The implementation decides the message's fate by
+// calling deliver zero or more times, immediately or later, from any
+// goroutine: calling it once models a faithful link, zero times models a
+// drop (the implementation must then Release the message itself), and
+// calling it with msg.Dup() copies models duplicate delivery. The traffic
+// counters are incremented at send time, before Deliver runs, so injected
+// faults never disturb the quantities Equations (1)/(2) predict.
+type Network interface {
+	Deliver(msg Message, deliver func(Message))
 }
 
-// New creates a cluster of p nodes.
+// Cluster is a set of P virtual nodes with an all-to-all network.
+type Cluster struct {
+	p            int
+	inboxes      []*mailbox
+	messages     []atomic.Int64 // p*p counters, src*p+dst
+	bytes        []atomic.Int64
+	requests     []atomic.Int64 // control re-requests, src*p+dst
+	redeliveries []atomic.Int64 // payload re-sends answered by owners
+	net          Network        // nil on a fault-free cluster
+	pool         tile.Pool      // recycles send clones released by receivers
+}
+
+// New creates a cluster of p nodes with a faithful (fault-free) network.
 func New(p int) *Cluster {
+	return NewWithNetwork(p, nil)
+}
+
+// NewWithNetwork creates a cluster of p nodes whose deliveries are routed
+// through net; a nil net is the faithful network of New.
+func NewWithNetwork(p int, net Network) *Cluster {
 	if p <= 0 {
 		panic(fmt.Sprintf("cluster: invalid node count %d", p))
 	}
 	c := &Cluster{
-		p:        p,
-		inboxes:  make([]*mailbox, p),
-		messages: make([]atomic.Int64, p*p),
-		bytes:    make([]atomic.Int64, p*p),
+		p:            p,
+		inboxes:      make([]*mailbox, p),
+		messages:     make([]atomic.Int64, p*p),
+		bytes:        make([]atomic.Int64, p*p),
+		requests:     make([]atomic.Int64, p*p),
+		redeliveries: make([]atomic.Int64, p*p),
+		net:          net,
 	}
 	for i := range c.inboxes {
 		c.inboxes[i] = newMailbox()
 	}
 	return c
+}
+
+// dispatch hands one message to the network seam (or straight to the
+// destination mailbox on a faithful cluster).
+func (c *Cluster) dispatch(msg Message) {
+	if c.net != nil {
+		c.net.Deliver(msg, c.deliver)
+		return
+	}
+	c.deliver(msg)
+}
+
+// deliver enqueues msg at its destination, releasing the payload share when
+// the mailbox is already closed (shutdown or abort).
+func (c *Cluster) deliver(msg Message) {
+	if !c.inboxes[msg.To].put(msg) {
+		msg.Release()
+	}
 }
 
 // Nodes returns P.
@@ -211,13 +290,42 @@ func (c *Comm) sendAll(dsts []int, tag Tag, payload *tile.Tile) {
 		idx := c.rank*cl.p + dst
 		cl.messages[idx].Add(1)
 		cl.bytes[idx].Add(bytes)
-		msg := Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: now, shared: sh}
-		if !cl.inboxes[dst].put(msg) {
-			// Dropped on a closed mailbox (shutdown/abort): release the
-			// recipient's share ourselves.
-			msg.Release()
-		}
+		cl.dispatch(Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: now, shared: sh})
 	}
+}
+
+// Request sends the control message of the arrival-timeout protocol: it asks
+// owner to re-send the published tile version tag to this node. Requests are
+// counted separately from tile messages (Stats.Requests), so the
+// communication-volume counters the paper's equations predict are untouched.
+// Like every delivery it passes through the fault seam, so a lost request is
+// healed by the requester's exponential backoff, not by the transport.
+func (c *Comm) Request(owner int, tag Tag) {
+	if owner == c.rank {
+		panic("cluster: self-request; local tiles are never re-requested")
+	}
+	cl := c.cluster
+	cl.requests[c.rank*cl.p+owner].Add(1)
+	cl.dispatch(Message{From: c.rank, To: owner, Tag: tag, Req: true, SentAt: time.Now()})
+}
+
+// Resend re-sends one published tile version to a single destination in
+// answer to a Request. It counts as a tile message (the wire really carries
+// the tile again) and additionally as a redelivery, so measurements can
+// recover the fault-free volume as Messages − Redeliveries.
+func (c *Comm) Resend(dst int, tag Tag, payload *tile.Tile) {
+	if dst == c.rank {
+		panic("cluster: self-send; local data must not go through the network")
+	}
+	cl := c.cluster
+	cp := cl.pool.Clone(payload)
+	sh := &sharedPayload{pool: &cl.pool, t: cp}
+	sh.refs.Store(1)
+	idx := c.rank*cl.p + dst
+	cl.messages[idx].Add(1)
+	cl.redeliveries[idx].Add(1)
+	cl.bytes[idx].Add(int64(payload.Bytes()))
+	cl.dispatch(Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: time.Now(), shared: sh})
 }
 
 // Abort poisons the whole cluster: every mailbox closes, so all blocked
@@ -234,22 +342,43 @@ func (c *Comm) Recv() (Message, bool) {
 	return c.cluster.inboxes[c.rank].get()
 }
 
-// Stats is a snapshot of the traffic counters.
+// Stats is a snapshot of the traffic counters. Messages counts every tile
+// payload sent, including redeliveries of the arrival-timeout protocol;
+// Redeliveries counts just those re-sends, so Messages − Redeliveries is the
+// primary (fault-free-equivalent) volume Equations (1)/(2) predict. Requests
+// counts the payload-free control messages; MailboxPeak is each node's
+// inbound queue high-water mark — the backpressure an unbounded mailbox
+// would otherwise hide.
 type Stats struct {
-	P        int
-	Messages [][]int64 // [src][dst]
-	Bytes    [][]int64
+	P            int
+	Messages     [][]int64 // [src][dst]
+	Bytes        [][]int64
+	Requests     [][]int64
+	Redeliveries [][]int64
+	MailboxPeak  []int
 }
 
 // Stats snapshots the per-pair traffic counters.
 func (c *Cluster) Stats() Stats {
-	s := Stats{P: c.p, Messages: make([][]int64, c.p), Bytes: make([][]int64, c.p)}
+	s := Stats{
+		P:            c.p,
+		Messages:     make([][]int64, c.p),
+		Bytes:        make([][]int64, c.p),
+		Requests:     make([][]int64, c.p),
+		Redeliveries: make([][]int64, c.p),
+		MailboxPeak:  make([]int, c.p),
+	}
 	for i := 0; i < c.p; i++ {
 		s.Messages[i] = make([]int64, c.p)
 		s.Bytes[i] = make([]int64, c.p)
+		s.Requests[i] = make([]int64, c.p)
+		s.Redeliveries[i] = make([]int64, c.p)
+		s.MailboxPeak[i] = c.inboxes[i].highWater()
 		for j := 0; j < c.p; j++ {
 			s.Messages[i][j] = c.messages[i*c.p+j].Load()
 			s.Bytes[i][j] = c.bytes[i*c.p+j].Load()
+			s.Requests[i][j] = c.requests[i*c.p+j].Load()
+			s.Redeliveries[i][j] = c.redeliveries[i*c.p+j].Load()
 		}
 	}
 	return s
@@ -270,6 +399,28 @@ func (s Stats) TotalMessages() int64 {
 func (s Stats) TotalBytes() int64 {
 	var t int64
 	for _, row := range s.Bytes {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// TotalRequests returns the total number of control re-requests sent.
+func (s Stats) TotalRequests() int64 {
+	var t int64
+	for _, row := range s.Requests {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// TotalRedeliveries returns the total number of payload re-sends.
+func (s Stats) TotalRedeliveries() int64 {
+	var t int64
+	for _, row := range s.Redeliveries {
 		for _, v := range row {
 			t += v
 		}

@@ -59,20 +59,36 @@
 // reports the errors of all failing nodes joined together, with nodes that
 // merely aborted on a peer's behalf folded in as context.
 //
+// # Resilience
+//
+// With Options.ArrivalTimeout set (or Options.Chaos, which defaults it), the
+// engine no longer assumes the network delivers: each awaited remote tile
+// version carries a deadline, and a version that misses it is re-requested
+// from its owner with a cluster.Request control message under exponential
+// backoff. Owners keep a cache of the tile versions they published and
+// answer requests from it with cluster.Resend — including after their own
+// event loop has finished, so a slow consumer can always heal. A permanently
+// dropped delivery therefore costs latency, never a hang, and
+// Report.Resilience counts the re-requests, redeliveries served, and
+// recoveries per node.
+//
 // # Tracing
 //
 // When Options.Recorder is set, the run records wall-clock kernel intervals
 // (per node and worker slot) and message departure/arrival times into a
 // trace.Recorder, so real executions feed the same Gantt, utilization and
-// CSV machinery as the simulator.
+// CSV machinery as the simulator. Injected faults and the recovery actions
+// they trigger are recorded alongside as trace.FaultEvents.
 package runtime
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"anybc/internal/chaos"
 	"anybc/internal/cluster"
 	"anybc/internal/dag"
 	"anybc/internal/dist"
@@ -101,6 +117,19 @@ type Options struct {
 	// the run (wall-clock seconds since the run started) for the
 	// Gantt/utilization analyses of package trace.
 	Recorder *trace.Recorder
+	// Chaos, when non-nil, installs the plan as the cluster's network layer:
+	// every delivery (tiles, requests, redeliveries) passes through its
+	// seeded fault decisions. A plan drives exactly one run; build a fresh
+	// plan from the same chaos.Config to reproduce it. Setting Chaos also
+	// defaults ArrivalTimeout so drops heal instead of hanging.
+	Chaos *chaos.Plan
+	// ArrivalTimeout arms the re-request protocol: an awaited remote tile
+	// version not delivered within this duration is re-requested from its
+	// owner, with exponential backoff between retries. Zero disables the
+	// protocol unless Chaos is set (then it defaults to 250ms); negative
+	// forces it off even under chaos — useful only to demonstrate that a
+	// dropped message then hangs the run.
+	ArrivalTimeout time.Duration
 }
 
 // Report summarizes one distributed execution.
@@ -125,8 +154,32 @@ type Report struct {
 	PeakTilesPerNode []int
 	// Sched holds each node's scheduler observability counters.
 	Sched []SchedStats
+	// MailboxPeakPerNode is each node's mailbox high-water mark: the most
+	// messages ever queued undelivered at once. The queues are unbounded, so
+	// this is the only visibility into transport backpressure — a peak far
+	// above the worker count means senders outpace the node's event loop.
+	MailboxPeakPerNode []int
+	// Resilience holds each node's fault-healing counters. All zero unless
+	// the arrival-timeout re-request protocol was armed (Options.Chaos or
+	// Options.ArrivalTimeout).
+	Resilience []ResilienceStats
 	// Elapsed is the wall-clock duration of the distributed run.
 	Elapsed time.Duration
+}
+
+// ResilienceStats describes one node's participation in the arrival-timeout
+// re-request protocol over a run.
+type ResilienceStats struct {
+	// ReRequests counts the cluster.Request control messages this node sent
+	// after an awaited tile version missed its arrival deadline (retries
+	// under backoff count individually).
+	ReRequests int
+	// Redelivered counts the re-requests this node answered from its
+	// published-version cache as the owner, each a cluster.Resend.
+	Redelivered int
+	// Recovered counts the awaited tile versions that arrived only after
+	// this node re-requested them — deliveries the timeout path healed.
+	Recovered int
 }
 
 // SchedStats describes one node's scheduling behaviour over a run.
@@ -166,9 +219,22 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		return nil, err
 	}
 	P := d.Nodes()
-	cl := cluster.New(P)
+	var net cluster.Network
+	if opt.Chaos != nil {
+		net = opt.Chaos
+		if opt.ArrivalTimeout == 0 {
+			opt.ArrivalTimeout = 250 * time.Millisecond
+		}
+	}
+	if opt.ArrivalTimeout < 0 {
+		opt.ArrivalTimeout = 0
+	}
+	cl := cluster.NewWithNetwork(P, net)
 
 	start := time.Now()
+	if opt.Chaos != nil && opt.Recorder != nil {
+		opt.Chaos.Bind(opt.Recorder, start)
+	}
 	engines := make([]*engine, P)
 	for rank := 0; rank < P; rank++ {
 		engines[rank] = newEngine(rank, cl.Comm(rank), g, d, b, gen, kern, opt, ver, start)
@@ -184,6 +250,11 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		}(rank)
 	}
 	wg.Wait()
+	if opt.Chaos != nil {
+		// Release any reorder holds still parked in the fault plan so their
+		// payload shares drain before the pool is abandoned.
+		opt.Chaos.Flush()
+	}
 	cl.Close()
 	elapsed := time.Since(start)
 
@@ -224,7 +295,9 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		PeakTilesPerNode:     make([]int, P),
 		Elapsed:              elapsed,
 	}
+	rep.MailboxPeakPerNode = rep.Stats.MailboxPeak
 	rep.Sched = make([]SchedStats, P)
+	rep.Resilience = make([]ResilienceStats, P)
 	for rank, e := range engines {
 		rep.TasksPerNode[rank] = len(e.owned)
 		rep.FlopsPerNode[rank] = e.flops
@@ -240,6 +313,11 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 			ReadyPeak:        e.readyPeak,
 			DuplicateDrops:   e.dupDrops,
 			DispatchedByKind: byKind,
+		}
+		rep.Resilience[rank] = ResilienceStats{
+			ReRequests:  e.reRequests,
+			Redelivered: int(e.redelivered.Load()),
+			Recovered:   e.recovered,
 		}
 	}
 
@@ -320,6 +398,35 @@ type engine struct {
 	readyPeak    int
 	dupDrops     int
 	dispatched   map[dag.Kind]int
+
+	// Resilience (armed when arrival > 0): published caches the tile
+	// versions this node broadcast, so re-requests can be answered even
+	// after the publishing task's buffer was updated in place — or after
+	// this node's event loop finished (the late request server reads it,
+	// hence the mutex). seen marks tags that already arrived once, so
+	// duplicates landing after the last-reader release still drop
+	// idempotently. pending carries the re-request deadline per awaited tag.
+	chaos     *chaos.Plan
+	arrival   time.Duration
+	resilient bool
+	pubMu     sync.Mutex
+	published map[cluster.Tag]*tile.Tile
+	seen      map[cluster.Tag]bool
+	pending   map[cluster.Tag]*pendingWait
+
+	// Resilience observability (Report.Resilience). redelivered is atomic
+	// because the late request server increments it concurrently with the
+	// report read.
+	reRequests  int
+	recovered   int
+	redelivered atomic.Int64
+}
+
+// pendingWait is the re-request state of one awaited remote tile version.
+type pendingWait struct {
+	deadline time.Time
+	backoff  time.Duration
+	attempts int
 }
 
 func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
@@ -346,9 +453,16 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 		dstSeen:    make([]bool, comm.Size()),
 		dispatched: make(map[dag.Kind]int),
 		ready:      sched.NewHeap(sched.CriticalPath.Tie()),
+		chaos:      opt.Chaos,
+		arrival:    opt.ArrivalTimeout,
 	}
 	if e.workers <= 0 {
 		e.workers = 1
+	}
+	if e.arrival > 0 {
+		e.resilient = true
+		e.published = make(map[cluster.Tag]*tile.Tile)
+		e.seen = make(map[cluster.Tag]bool)
 	}
 	// Discover owned tasks and materialize owned tiles.
 	dag.ForEachTask(g, func(t dag.Task) {
@@ -465,6 +579,31 @@ func (e *engine) run() error {
 		}
 	}
 
+	// Arm the re-request protocol: every awaited remote tile version gets an
+	// arrival deadline, and a ticker at half the timeout drives the overdue
+	// sweep. The channel stays nil — and the select case dead — when the
+	// protocol is off or nothing is awaited, so the happy path pays nothing.
+	var tick <-chan time.Time
+	if e.resilient && len(e.waiters) > 0 {
+		e.pending = make(map[cluster.Tag]*pendingWait, len(e.waiters))
+		deadline := time.Now().Add(e.arrival)
+		for tag := range e.waiters {
+			e.pending[tag] = &pendingWait{deadline: deadline, backoff: e.arrival}
+		}
+		ticker := time.NewTicker(e.arrival / 2)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+
+	// Injected crash: the chaos plan may name the owned-task index just
+	// before which this node dies — it stops dispatching and poisons the
+	// cluster, exactly the failure surface of a real kernel error.
+	crashAt := -1
+	if e.chaos != nil {
+		crashAt = e.chaos.CrashTask(e.rank)
+	}
+	dispatchCount := 0
+
 	dispatch := func(idx int) {
 		t := e.owned[idx]
 		e.dispatched[t.Kind]++
@@ -498,10 +637,22 @@ func (e *engine) run() error {
 			}
 		} else {
 			for !e.ready.Empty() && inflight < e.workers {
+				if crashAt >= 0 && dispatchCount == crashAt {
+					aborted = true
+					abortErr = fmt.Errorf("node %d died before its owned task %d: %w",
+						e.rank, dispatchCount, chaos.ErrInjectedCrash)
+					e.chaos.RecordCrash(e.rank, dispatchCount)
+					e.comm.Abort()
+					break
+				}
 				dispatch(int(e.ready.Pop()))
+				dispatchCount++
 				inflight++
 			}
-			if done == total {
+			if !aborted && done == total {
+				break
+			}
+			if aborted && inflight == 0 {
 				break
 			}
 		}
@@ -559,6 +710,10 @@ func (e *engine) run() error {
 				aborted = true
 				abortErr = ErrPeerAborted
 			}
+		case <-tick:
+			if !aborted {
+				e.onTick()
+			}
 		}
 		if stalled {
 			end := time.Now()
@@ -572,9 +727,20 @@ func (e *engine) run() error {
 	close(work)
 	workerWG.Wait()
 	// Absorb (and release) any late messages until the cluster is closed, so
-	// remote senders and our receiver goroutine can always make progress.
+	// remote senders and our receiver goroutine can always make progress. In
+	// resilient mode this absorber doubles as the late request server: a
+	// consumer slower than us may still re-request tile versions we
+	// published, and must get them even though our event loop is gone. The
+	// server deliberately touches only the published cache (under pubMu) and
+	// atomic counters — never the recorder or plain engine fields, which the
+	// report reads concurrently.
+	crashed := aborted
 	go func() {
 		for ev := range events {
+			if e.resilient && !crashed && ev.msg.Req {
+				e.answerRequest(ev.msg, false)
+				continue
+			}
 			ev.msg.Release()
 		}
 	}()
@@ -583,6 +749,54 @@ func (e *engine) run() error {
 		close(events)
 	}()
 	return abortErr
+}
+
+// onTick sweeps the awaited remote tile versions and re-requests every one
+// past its deadline from its owner, doubling the deadline each retry
+// (capped) so a genuinely slow producer is not hammered.
+func (e *engine) onTick() {
+	now := time.Now()
+	for tag, p := range e.pending {
+		if now.Before(p.deadline) {
+			continue
+		}
+		owner := e.owner(int(tag.I), int(tag.J))
+		e.comm.Request(owner, tag)
+		e.reRequests++
+		p.attempts++
+		p.backoff *= 2
+		if maxB := 8 * e.arrival; p.backoff > maxB {
+			p.backoff = maxB
+		}
+		p.deadline = now.Add(p.backoff)
+		if e.rec != nil {
+			e.rec.RecordFault("re-request", e.rank, owner,
+				fmt.Sprintf("(%d,%d)v%d", tag.I, tag.J, tag.V),
+				time.Since(e.epoch).Seconds())
+		}
+	}
+}
+
+// answerRequest serves one version re-request from the published cache. A
+// request for a version not yet published is dropped: the normal broadcast
+// at completion covers it, and the requester's backoff retries if that
+// broadcast is the delivery that gets lost. live distinguishes the event
+// loop (which may record the redelivery) from the post-loop server (which
+// must not touch the recorder).
+func (e *engine) answerRequest(msg cluster.Message, live bool) {
+	e.pubMu.Lock()
+	cached := e.published[msg.Tag]
+	e.pubMu.Unlock()
+	if cached == nil {
+		return
+	}
+	e.comm.Resend(msg.From, msg.Tag, cached)
+	e.redelivered.Add(1)
+	if live && e.rec != nil {
+		e.rec.RecordFault("redeliver", e.rank, msg.From,
+			fmt.Sprintf("(%d,%d)v%d", msg.Tag.I, msg.Tag.J, msg.Tag.V),
+			time.Since(e.epoch).Seconds())
+	}
 }
 
 // pushReady queues owned task idx for dispatch under its critical-path key
@@ -626,6 +840,14 @@ func (e *engine) onComplete(idx int) {
 		// One broadcast, one clone: every consumer node shares the same
 		// immutable payload (see cluster.SendAll).
 		e.comm.SendAll(e.dstList, netTag, out)
+		if e.published != nil {
+			// Snapshot the published version for the re-request protocol:
+			// out is updated in place by this tile's later writers, so the
+			// broadcast content must be preserved separately.
+			e.pubMu.Lock()
+			e.published[netTag] = out.Clone()
+			e.pubMu.Unlock()
+		}
 		for _, dst := range e.dstList {
 			e.dstSeen[dst] = false
 		}
@@ -661,6 +883,11 @@ func (e *engine) onComplete(idx int) {
 // genuinely conflict, since then one of the two writes is wrong and the run
 // cannot be trusted.
 func (e *engine) onArrival(msg cluster.Message) error {
+	if msg.Req {
+		// A consumer's re-request for a version we published (no payload).
+		e.answerRequest(msg, true)
+		return nil
+	}
 	if prev, dup := e.recv[msg.Tag]; dup {
 		identical := prev.Payload.EqualApprox(msg.Payload, 0)
 		msg.Release()
@@ -669,6 +896,33 @@ func (e *engine) onArrival(msg cluster.Message) error {
 			return nil
 		}
 		return fmt.Errorf("conflicting duplicate of tile %v from node %d: payload differs from the retained copy", msg.Tag, msg.From)
+	}
+	if e.seen != nil {
+		// Resilient transports may duplicate or redeliver: a tag whose first
+		// copy was already consumed and released is long gone from recv, so
+		// remember every tag ever arrived and drop the stragglers here —
+		// idempotently, like the recv-keyed duplicates above.
+		if e.seen[msg.Tag] {
+			msg.Release()
+			e.dupDrops++
+			return nil
+		}
+		e.seen[msg.Tag] = true
+	}
+	if e.pending != nil {
+		if p, ok := e.pending[msg.Tag]; ok {
+			if p.attempts > 0 {
+				// This version arrived only after we re-requested it: the
+				// timeout path healed a lost delivery.
+				e.recovered++
+				if e.rec != nil {
+					e.rec.RecordFault("recovered", msg.From, e.rank,
+						fmt.Sprintf("(%d,%d)v%d", msg.Tag.I, msg.Tag.J, msg.Tag.V),
+						time.Since(e.epoch).Seconds())
+				}
+			}
+			delete(e.pending, msg.Tag)
+		}
 	}
 	e.recvTotal++
 	if e.rec != nil {

@@ -1,0 +1,275 @@
+package runtime
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"anybc/internal/cluster"
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+	"anybc/internal/tile"
+)
+
+// protoScenario is one (graph, distribution, kernel) configuration the
+// protocol fuzzer drives through a whitebox engine.
+type protoScenario struct {
+	g    dag.Graph
+	d    dist.Distribution
+	b    int
+	gen  func(i, j int) *tile.Tile
+	kern Kernel
+}
+
+func luScenario() protoScenario {
+	return protoScenario{
+		g:    dag.NewLU(4),
+		d:    dist.NewTwoDBC(2, 2),
+		b:    3,
+		gen:  GenDiagDominant(4, 3, 9),
+		kern: LUKernel,
+	}
+}
+
+// chainScenario is the multi-epoch stress: one tile rewritten twelve times on
+// node 0, every version consumed remotely on node 1 — so the fuzzer's
+// reorderings interleave twelve distinct write epochs of the same tile.
+func chainScenario() protoScenario {
+	const chain = 12
+	var tasks []testTask
+	for k := 0; k < chain; k++ {
+		w := testTask{out: [2]int{0, 0}}
+		if k > 0 {
+			w.deps = []int{2 * (k - 1)}
+		}
+		tasks = append(tasks, w)
+		tasks = append(tasks, testTask{
+			out:  [2]int{k + 1, 0},
+			deps: []int{2 * k},
+			ins:  [][2]int{{0, 0}},
+		})
+	}
+	return protoScenario{
+		g: newTestGraph(chain+1, tasks),
+		d: testDist{p: 2, owner: func(i, j int) int {
+			if i == 0 {
+				return 0
+			}
+			return 1
+		}},
+		b: 1,
+		gen: func(i, j int) *tile.Tile { return tile.New(1, 1) },
+		kern: func(task dag.Task, out *tile.Tile, inputs []*tile.Tile) error {
+			if int(task.I)%2 == 0 {
+				out.Set(0, 0, out.At(0, 0)+1)
+			} else {
+				out.Set(0, 0, inputs[0].At(0, 0))
+			}
+			return nil
+		},
+	}
+}
+
+// sequentialSnapshots executes the whole graph on one address space in
+// dependency order and captures every published (tile, version) right after
+// its write — the payloads a perfect network would deliver — plus the final
+// content of every tile.
+func sequentialSnapshots(t testing.TB, sc protoScenario, ver []int32) (map[cluster.Tag]*tile.Tile, map[[2]int]*tile.Tile) {
+	t.Helper()
+	tiles := map[[2]int]*tile.Tile{}
+	dag.ForEachTask(sc.g, func(tk dag.Task) {
+		oi, oj := sc.g.OutputTile(tk)
+		if tiles[[2]int{oi, oj}] == nil {
+			tiles[[2]int{oi, oj}] = sc.gen(oi, oj)
+		}
+	})
+	n := sc.g.NumTasks()
+	indeg := make([]int, n)
+	var queue []int
+	dag.ForEachTask(sc.g, func(tk dag.Task) {
+		id := sc.g.ID(tk)
+		indeg[id] = sc.g.NumDependencies(tk)
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	})
+	snaps := map[cluster.Tag]*tile.Tile{}
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		tk := sc.g.TaskOf(id)
+		oi, oj := sc.g.OutputTile(tk)
+		out := tiles[[2]int{oi, oj}]
+		var ins []*tile.Tile
+		sc.g.InputTiles(tk, func(i, j int) {
+			// Readers consume the version their dependency produced, which an
+			// in-place sequential sweep may already have overwritten — resolve
+			// through the snapshots exactly like a remote consumer would.
+			if v, ok := dag.InputVersion(sc.g, ver, tk, i, j); ok {
+				if s := snaps[cluster.Tag{I: int32(i), J: int32(j), V: v}]; s != nil {
+					ins = append(ins, s)
+					return
+				}
+			}
+			ins = append(ins, tiles[[2]int{i, j}])
+		})
+		if err := sc.kern(tk, out, ins); err != nil {
+			t.Fatalf("sequential reference kernel %v: %v", tk, err)
+		}
+		snaps[cluster.Tag{I: int32(oi), J: int32(oj), V: ver[id]}] = out.Clone()
+		sc.g.Successors(tk, func(s dag.Task) {
+			sid := sc.g.ID(s)
+			if indeg[sid]--; indeg[sid] == 0 {
+				queue = append(queue, sid)
+			}
+		})
+	}
+	return snaps, tiles
+}
+
+// byteAt cycles through the fuzz input (zero when empty).
+func byteAt(data []byte, k int) byte {
+	if len(data) == 0 {
+		return 0
+	}
+	return data[k%len(data)]
+}
+
+// driveEngine feeds one node's awaited arrivals in a fuzz-chosen order, with
+// fuzz-chosen duplicates, through real pooled cluster messages, pumping the
+// engine's ready queue synchronously after each delivery. Whatever the
+// schedule, the node must finish all owned tasks and produce exactly the
+// sequential factorization — and never panic or double-release a pooled
+// payload (the pool's refcounts are live because the messages come from a
+// real Comm).
+func driveEngine(t *testing.T, sc protoScenario, rank int, data []byte) {
+	ver, err := prevalidate(sc.g, sc.d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, finals := sequentialSnapshots(t, sc, ver)
+
+	cl := cluster.New(sc.d.Nodes())
+	defer cl.Close()
+	e := newEngine(rank, cl.Comm(rank), sc.g, sc.d, sc.b, sc.gen, sc.kern,
+		Options{Workers: 1}, ver, time.Now())
+	if len(e.owned) == 0 {
+		t.Fatalf("rank %d owns nothing; scenario proves nothing", rank)
+	}
+
+	// Deterministic base order of awaited arrivals, then a fuzz-driven
+	// Fisher–Yates shuffle.
+	var tags []cluster.Tag
+	for tag := range e.waiters {
+		tags = append(tags, tag)
+	}
+	sort.Slice(tags, func(a, b int) bool {
+		x, y := tags[a], tags[b]
+		if x.I != y.I {
+			return x.I < y.I
+		}
+		if x.J != y.J {
+			return x.J < y.J
+		}
+		return x.V < y.V
+	})
+	for i := len(tags) - 1; i > 0; i-- {
+		j := int(byteAt(data, len(tags)-1-i)) % (i + 1)
+		tags[i], tags[j] = tags[j], tags[i]
+	}
+
+	popped := 0
+	pump := func() {
+		for !e.ready.Empty() {
+			idx := int(e.ready.Pop())
+			popped++
+			tk := e.owned[idx]
+			oi, oj := sc.g.OutputTile(tk)
+			out := e.tiles[cluster.Tag{I: int32(oi), J: int32(oj)}]
+			var inputs []*tile.Tile
+			for _, ref := range e.ins[idx] {
+				if ref.remote {
+					inputs = append(inputs, e.recv[ref.tag].Payload)
+				} else {
+					inputs = append(inputs, e.tiles[ref.tag])
+				}
+			}
+			if err := sc.kern(tk, out, inputs); err != nil {
+				t.Fatalf("kernel %v: %v", tk, err)
+			}
+			e.onComplete(idx)
+		}
+	}
+	feed := func(msg cluster.Message) {
+		if err := e.onArrival(msg); err != nil {
+			t.Fatalf("arrival %v rejected: %v", msg.Tag, err)
+		}
+	}
+
+	for idx := range e.owned {
+		if e.remaining[idx] == 0 {
+			e.pushReady(idx)
+		}
+	}
+	pump()
+
+	// Deliveries travel through a real Comm so payloads are pooled clones
+	// with live refcounts; a high bit in the fuzz input duplicates that
+	// delivery (sharing the refcount, like a faulty transport would).
+	sender := cl.Comm((rank + 1) % sc.d.Nodes())
+	for k, tag := range tags {
+		pay := snaps[tag]
+		if pay == nil {
+			t.Fatalf("no published snapshot for awaited tag %v", tag)
+		}
+		sender.Send(rank, tag, pay)
+		msg, ok := cl.Comm(rank).Recv()
+		if !ok {
+			t.Fatal("mailbox closed mid-test")
+		}
+		if byteAt(data, len(tags)+k)&0x80 != 0 {
+			dup := msg.Dup()
+			feed(msg)
+			pump()
+			feed(dup)
+		} else {
+			feed(msg)
+		}
+		pump()
+	}
+
+	if popped != len(e.owned) {
+		t.Fatalf("completed %d of %d owned tasks after all deliveries", popped, len(e.owned))
+	}
+	for idx := range e.owned {
+		if e.remaining[idx] != 0 {
+			t.Fatalf("task %v still has %d unresolved deps", e.owned[idx], e.remaining[idx])
+		}
+	}
+	if len(e.recv) != 0 || len(e.readers) != 0 {
+		t.Fatalf("release leak: %d retained tiles, %d reader counts after completion",
+			len(e.recv), len(e.readers))
+	}
+	for tag, got := range e.tiles {
+		want := finals[[2]int{int(tag.I), int(tag.J)}]
+		if !got.EqualApprox(want, 0) {
+			t.Fatalf("owned tile (%d,%d) diverged from the sequential factorization", tag.I, tag.J)
+		}
+	}
+}
+
+// FuzzVersionProtocol is the property-based attack on the Tag/version
+// protocol: arbitrary interleavings of reordered, duplicated, and
+// multi-epoch deliveries must never panic, never double-release a pooled
+// payload, and always converge to the sequential factorization.
+func FuzzVersionProtocol(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x01, 0x80, 0x7f, 0xff, 0x03})
+	f.Add([]byte("reorder and duplicate everything, please"))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		driveEngine(t, luScenario(), 1, data)
+		driveEngine(t, chainScenario(), 1, data)
+	})
+}

@@ -10,6 +10,7 @@ package trace
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"sync"
@@ -39,6 +40,17 @@ type StallEvent struct {
 	Start, End float64
 }
 
+// FaultEvent is one injected fault or recovery action: chaos-injected
+// delays/reorders/duplicates/drops/crashes and the runtime's healing moves
+// (re-requests, redeliveries), each stamped with the instant it happened so
+// faults render on the same time axis as kernels and messages.
+type FaultEvent struct {
+	Kind     string // e.g. "drop", "delay", "re-request", "redeliver", "crash"
+	Src, Dst int
+	Tag      string // the affected tile version, e.g. "(2,1)v0", or "req(2,1)v0"
+	Time     float64
+}
+
 // Recorder accumulates events during one run. Recording is safe for
 // concurrent use — the real runtime records from every node's goroutines —
 // while the analysis methods expect recording to have finished.
@@ -47,6 +59,7 @@ type Recorder struct {
 	Tasks    []TaskEvent
 	Messages []MessageEvent
 	Stalls   []StallEvent
+	Faults   []FaultEvent
 }
 
 // RecordTask appends a kernel execution interval.
@@ -67,6 +80,13 @@ func (r *Recorder) RecordMessage(src, dst int, depart, arrive float64, bytes int
 func (r *Recorder) RecordStall(node int, start, end float64) {
 	r.mu.Lock()
 	r.Stalls = append(r.Stalls, StallEvent{Node: node, Start: start, End: end})
+	r.mu.Unlock()
+}
+
+// RecordFault appends an injected fault or recovery action.
+func (r *Recorder) RecordFault(kind string, src, dst int, tag string, at float64) {
+	r.mu.Lock()
+	r.Faults = append(r.Faults, FaultEvent{Kind: kind, Src: src, Dst: dst, Tag: tag, Time: at})
 	r.mu.Unlock()
 }
 
@@ -236,4 +256,69 @@ func (r *Recorder) MessagesCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// FaultsCSV writes the injected faults and recovery actions as CSV.
+func (r *Recorder) FaultsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,src,dst,tag,time"); err != nil {
+		return err
+	}
+	for _, f := range r.Faults {
+		if _, err := fmt.Fprintf(w, "%q,%d,%d,%q,%.9f\n",
+			f.Kind, f.Src, f.Dst, f.Tag, f.Time); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fingerprint hashes the structural content of the trace — which tasks ran
+// where, the per-(src,dst) message counts and byte volumes, and the sorted
+// fault log — excluding every wall-clock timestamp. Two runs of the same
+// seeded workload must produce equal fingerprints even though their kernel
+// and message timings differ; any divergence in what happened (an extra
+// message, a missing fault, a task migrating nodes) changes the hash.
+func (r *Recorder) Fingerprint() string {
+	tasks := make([]string, len(r.Tasks))
+	for i, e := range r.Tasks {
+		tasks[i] = fmt.Sprintf("task n%d %s", e.Node, e.Task)
+	}
+	sort.Strings(tasks)
+
+	type pair struct{ src, dst int }
+	counts := map[pair]int{}
+	bytes := map[pair]int{}
+	for _, m := range r.Messages {
+		k := pair{m.Src, m.Dst}
+		counts[k]++
+		bytes[k] += m.Bytes
+	}
+	pairs := make([]pair, 0, len(counts))
+	for k := range counts {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].src != pairs[j].src {
+			return pairs[i].src < pairs[j].src
+		}
+		return pairs[i].dst < pairs[j].dst
+	})
+
+	faults := make([]string, len(r.Faults))
+	for i, f := range r.Faults {
+		faults[i] = fmt.Sprintf("fault %s %d->%d %s", f.Kind, f.Src, f.Dst, f.Tag)
+	}
+	sort.Strings(faults)
+
+	h := fnv.New64a()
+	for _, s := range tasks {
+		fmt.Fprintln(h, s)
+	}
+	for _, k := range pairs {
+		fmt.Fprintf(h, "msg %d->%d n=%d bytes=%d\n", k.src, k.dst, counts[k], bytes[k])
+	}
+	for _, s := range faults {
+		fmt.Fprintln(h, s)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
