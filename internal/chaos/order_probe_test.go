@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// Probe: does the canonical log depend on feed order beyond fwd/rev?
+func TestProbePermutationIndependence(t *testing.T) {
+	cfg := Config{Seed: 42, PDelay: 0.4, PReorder: 0.2, PDuplicate: 0.1,
+		PDrop: 0.1, PDropRedeliver: 0.1,
+		MaxDelay: time.Millisecond, RedeliverAfter: time.Millisecond,
+		ReorderFlush: 5 * time.Millisecond}
+
+	feed := func(order []int) *Plan {
+		p := mustPlan(t, cfg)
+		var s sink
+		for _, i := range order {
+			p.Deliver(msg(i%3, 3, i), s.deliver)
+		}
+		p.Flush()
+		return p
+	}
+	base := make([]int, 40)
+	for i := range base {
+		base[i] = i
+	}
+	ref := feed(base).Fingerprint()
+	// lcg permutations
+	seedp := int64(12345)
+	for trial := 0; trial < 200; trial++ {
+		perm := make([]int, 40)
+		copy(perm, base)
+		for i := 39; i > 0; i-- {
+			seedp = seedp*6364136223846793005 + 1442695040888963407
+			j := int((seedp >> 33) % int64(i+1))
+			if j < 0 {
+				j = -j
+			}
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		if fp := feed(perm).Fingerprint(); fp != ref {
+			t.Fatalf("trial %d: fingerprint %s != ref %s for perm %v", trial, fp, ref, perm)
+		}
+	}
+}
