@@ -11,6 +11,7 @@ package anybc
 // value), so the benchmark log doubles as a summary of the reproduction.
 
 import (
+	gort "runtime"
 	"testing"
 
 	"anybc/internal/dag"
@@ -258,14 +259,23 @@ func (g gemmWrap) Owner(i, j int) int {
 // effect of reference-counted tile release: the cluster-wide peak tile
 // working set against the keep-everything footprint the runtime had before
 // received tiles were released after their last consumer.
+//
+// The per-node worker count follows GOMAXPROCS (minimum 2, so the stealing
+// path always runs), making `go test -bench RuntimeLU44 -cpu 1,4` the
+// multi-core scaling measurement: compare the per-op wall times across the
+// -cpu entries.
 func BenchmarkRuntimeLU44(b *testing.B) {
 	const mt, bs = 24, 8
+	workers := gort.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
 	d := dist.NewG2DBC(44)
 	gen := runtime.GenDiagDominant(mt, bs, 17)
 	var rep *runtime.Report
 	for i := 0; i < b.N; i++ {
 		var err error
-		_, rep, err = runtime.FactorLU(mt, bs, d, gen, runtime.Options{Workers: 2})
+		_, rep, err = runtime.FactorLU(mt, bs, d, gen, runtime.Options{Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}

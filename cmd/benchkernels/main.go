@@ -6,18 +6,26 @@
 // Usage:
 //
 //	benchkernels [-o BENCH_kernels.json] [-benchtime 1s] [-quick]
-//	             [-floor BENCH_kernels.json] [-floor-frac 0.5]
+//	             [-procs 1,4] [-floor BENCH_kernels.json] [-floor-frac 0.5]
 //
-// Kernel entries report sustained GFlop/s at the paper's tile size (and a
-// cache-resident size for GEMM); the runtime entry reports allocations,
-// bytes and messages per full 44-node LU factorization, the quantities the
-// broadcast-once/pooled communication layer is meant to keep flat.
+// The whole suite runs once per requested GOMAXPROCS value (-procs), and the
+// JSON records one baseline entry per value: since the panel kernels and the
+// engine's worker pool both scale with available procs, a single
+// gomaxprocs-less number would be meaningless. Kernel entries report
+// sustained GFlop/s at the paper's tile size (and a cache-resident size for
+// GEMM); the runtime entry reports allocations, bytes and messages per full
+// 44-node LU factorization, the quantities the broadcast-once/pooled
+// communication layer is meant to keep flat.
 //
 // With -floor, the fresh rates are additionally compared against a committed
-// baseline JSON: any kernel present in both runs that drops below
-// floor-frac of its baseline GFlop/s fails the process (exit 1). The check
-// is skipped when the assembly microkernel is not in use, because the pure-Go
-// fallback's rates are not comparable to an AVX2 baseline.
+// baseline JSON, keyed by gomaxprocs: each fresh entry is matched to the
+// baseline entry with the same gomaxprocs, and any kernel present in both
+// that drops below floor-frac of its baseline GFlop/s fails the process
+// (exit 1). A fresh gomaxprocs with NO matching baseline entry also fails —
+// silently comparing, say, a 4-proc run against 1-proc floors would gate
+// nothing. The check is skipped when the assembly microkernel is not in use,
+// because the pure-Go fallback's rates are not comparable to an AVX2
+// baseline.
 package main
 
 import (
@@ -27,6 +35,8 @@ import (
 	"math/rand"
 	"os"
 	rt "runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -53,17 +63,24 @@ type RuntimeResult struct {
 	PeakTiles   int    `json:"peak_tiles"`
 }
 
-// Output is the schema of BENCH_kernels.json.
+// Baseline is one full suite run at a fixed GOMAXPROCS.
+type Baseline struct {
+	GoMaxProcs int            `json:"gomaxprocs"`
+	Kernels    []KernelResult `json:"kernels"`
+	Runtime    RuntimeResult  `json:"runtime"`
+}
+
+// Output is the schema of BENCH_kernels.json (schema 2: per-gomaxprocs
+// baseline entries instead of one flat kernel list).
 type Output struct {
-	GoVersion              string         `json:"go_version"`
-	GOOS                   string         `json:"goos"`
-	GOARCH                 string         `json:"goarch"`
-	NumCPU                 int            `json:"num_cpu"`
-	GoMaxProcs             int            `json:"gomaxprocs"`
-	Microkernel            string         `json:"microkernel"`
-	MicrokernelAccelerated bool           `json:"microkernel_accelerated"`
-	Kernels                []KernelResult `json:"kernels"`
-	Runtime                RuntimeResult  `json:"runtime"`
+	Schema                 int        `json:"schema"`
+	GoVersion              string     `json:"go_version"`
+	GOOS                   string     `json:"goos"`
+	GOARCH                 string     `json:"goarch"`
+	NumCPU                 int        `json:"num_cpu"`
+	Microkernel            string     `json:"microkernel"`
+	MicrokernelAccelerated bool       `json:"microkernel_accelerated"`
+	Baselines              []Baseline `json:"baselines"`
 }
 
 func gflops(r testing.BenchmarkResult, flopsPerOp float64) float64 {
@@ -90,8 +107,34 @@ func randTile(n int, seed int64) *tile.Tile {
 	return t
 }
 
-// checkFloor compares fresh kernel rates against a committed baseline and
-// reports every kernel (present in both) below frac of its baseline rate.
+// parseProcs parses the -procs list ("1,4") into distinct positive ints.
+func parseProcs(s string) ([]int, error) {
+	var procs []int
+	seen := map[int]bool{}
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		p, err := strconv.Atoi(f)
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -procs entry %q", f)
+		}
+		if !seen[p] {
+			seen[p] = true
+			procs = append(procs, p)
+		}
+	}
+	if len(procs) == 0 {
+		return nil, fmt.Errorf("-procs lists no values")
+	}
+	return procs, nil
+}
+
+// checkFloor compares fresh kernel rates against a committed baseline,
+// matching entries by gomaxprocs. A fresh entry with no same-gomaxprocs
+// baseline is an error, not a silent pass: floors measured at a different
+// parallelism gate nothing.
 func checkFloor(fresh Output, baselinePath string, frac float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -101,24 +144,38 @@ func checkFloor(fresh Output, baselinePath string, frac float64) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
 	}
-	baseRate := make(map[string]float64, len(base.Kernels))
-	for _, k := range base.Kernels {
-		baseRate[k.Name] = k.GFlops
+	if len(base.Baselines) == 0 {
+		return fmt.Errorf("baseline %s has no per-gomaxprocs entries (pre-schema-2 file? regenerate it)", baselinePath)
+	}
+	baseByProcs := make(map[int]map[string]float64, len(base.Baselines))
+	for _, bl := range base.Baselines {
+		rates := make(map[string]float64, len(bl.Kernels))
+		for _, k := range bl.Kernels {
+			rates[k.Name] = k.GFlops
+		}
+		baseByProcs[bl.GoMaxProcs] = rates
 	}
 	var failed []string
-	for _, k := range fresh.Kernels {
-		want, ok := baseRate[k.Name]
-		if !ok || want <= 0 {
-			continue
+	for _, bl := range fresh.Baselines {
+		baseRate, ok := baseByProcs[bl.GoMaxProcs]
+		if !ok {
+			return fmt.Errorf("baseline %s has no entry for gomaxprocs=%d — regenerate it with -procs including %d",
+				baselinePath, bl.GoMaxProcs, bl.GoMaxProcs)
 		}
-		floor := frac * want
-		status := "ok"
-		if k.GFlops < floor {
-			status = "FAIL"
-			failed = append(failed, k.Name)
+		for _, k := range bl.Kernels {
+			want, ok := baseRate[k.Name]
+			if !ok || want <= 0 {
+				continue
+			}
+			floor := frac * want
+			status := "ok"
+			if k.GFlops < floor {
+				status = "FAIL"
+				failed = append(failed, fmt.Sprintf("%s@procs=%d", k.Name, bl.GoMaxProcs))
+			}
+			fmt.Fprintf(os.Stderr, "floor [procs=%d] %-20s %8.2f GFlop/s vs floor %8.2f (baseline %.2f)  %s\n",
+				bl.GoMaxProcs, k.Name, k.GFlops, floor, want, status)
 		}
-		fmt.Fprintf(os.Stderr, "floor %-20s %8.2f GFlop/s vs floor %8.2f (baseline %.2f)  %s\n",
-			k.Name, k.GFlops, floor, want, status)
 	}
 	if failed != nil {
 		return fmt.Errorf("kernels below %.0f%% of baseline: %v", 100*frac, failed)
@@ -126,19 +183,10 @@ func checkFloor(fresh Output, baselinePath string, frac float64) error {
 	return nil
 }
 
-func main() {
-	testing.Init() // registers test.benchtime, which testing.Benchmark honors
-	out := flag.String("o", "BENCH_kernels.json", "output JSON path")
-	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
-	quick := flag.Bool("quick", false, "single-iteration smoke run (CI)")
-	floorPath := flag.String("floor", "", "baseline JSON to enforce a kernel-rate floor against")
-	floorFrac := flag.Float64("floor-frac", 0.5, "fraction of the baseline GFlop/s each kernel must sustain")
-	flag.Parse()
-	if *quick {
-		flag.Set("test.benchtime", "1x")
-	} else {
-		flag.Set("test.benchtime", benchtime.String())
-	}
+// runSuite measures the full kernel + runtime suite at the current
+// GOMAXPROCS setting.
+func runSuite(procs int) Baseline {
+	bl := Baseline{GoMaxProcs: procs}
 
 	const n = 500
 	x, y, z := randTile(n, 1), randTile(n, 2), randTile(n, 3)
@@ -163,16 +211,7 @@ func main() {
 	}
 	work := tile.New(n, n)
 
-	var res Output
-	res.GoVersion = rt.Version()
-	res.GOOS, res.GOARCH = rt.GOOS, rt.GOARCH
-	res.NumCPU = rt.NumCPU()
-	res.GoMaxProcs = rt.GOMAXPROCS(0)
-	res.Microkernel = tile.MicroKernelName()
-	res.MicrokernelAccelerated = tile.MicroKernelAccelerated()
-	fmt.Fprintf(os.Stderr, "microkernel %s  gomaxprocs %d\n", res.Microkernel, res.GoMaxProcs)
-
-	res.Kernels = append(res.Kernels,
+	bl.Kernels = append(bl.Kernels,
 		benchKernel("Gemm500", n, tile.FlopsGemm(n), func() {
 			tile.Gemm(tile.NoTrans, tile.NoTrans, -1, x, y, 1, z)
 		}),
@@ -206,8 +245,14 @@ func main() {
 	)
 
 	// Distributed LU on the paper's 44-node cluster size: the allocation
-	// numbers are the broadcast-once/pooling regression signal.
+	// numbers are the broadcast-once/pooling regression signal, the wall
+	// time the multi-worker scaling signal (Workers matches GOMAXPROCS so a
+	// node's task-level parallelism can actually use the procs granted).
 	const mt, bs = 24, 8
+	workers := procs
+	if workers < 2 {
+		workers = 2
+	}
 	d := dist.NewG2DBC(44)
 	gen := runtime.GenDiagDominant(mt, bs, 17)
 	var rep *runtime.Report
@@ -215,7 +260,7 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			var err error
-			_, rep, err = runtime.FactorLU(mt, bs, d, gen, runtime.Options{Workers: 2})
+			_, rep, err = runtime.FactorLU(mt, bs, d, gen, runtime.Options{Workers: workers})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -225,7 +270,7 @@ func main() {
 	for _, pk := range rep.PeakTilesPerNode {
 		peak += pk
 	}
-	res.Runtime = RuntimeResult{
+	bl.Runtime = RuntimeResult{
 		Name:        "RuntimeLU44",
 		NsPerOp:     r.NsPerOp(),
 		AllocsPerOp: r.AllocsPerOp(),
@@ -234,8 +279,47 @@ func main() {
 		PeakTiles:   peak,
 	}
 	fmt.Fprintf(os.Stderr, "%-24s %v/op  %d allocs/op  %d B/op  %d msgs\n",
-		res.Runtime.Name, time.Duration(res.Runtime.NsPerOp),
-		res.Runtime.AllocsPerOp, res.Runtime.BytesPerOp, res.Runtime.Messages)
+		bl.Runtime.Name, time.Duration(bl.Runtime.NsPerOp),
+		bl.Runtime.AllocsPerOp, bl.Runtime.BytesPerOp, bl.Runtime.Messages)
+	return bl
+}
+
+func main() {
+	testing.Init() // registers test.benchtime, which testing.Benchmark honors
+	out := flag.String("o", "BENCH_kernels.json", "output JSON path")
+	benchtime := flag.Duration("benchtime", time.Second, "minimum measuring time per benchmark")
+	quick := flag.Bool("quick", false, "single-iteration smoke run (CI)")
+	procsFlag := flag.String("procs", "1,4", "comma-separated GOMAXPROCS values; the suite runs once per value")
+	floorPath := flag.String("floor", "", "baseline JSON to enforce a kernel-rate floor against (matched by gomaxprocs)")
+	floorFrac := flag.Float64("floor-frac", 0.5, "fraction of the baseline GFlop/s each kernel must sustain")
+	flag.Parse()
+	if *quick {
+		flag.Set("test.benchtime", "1x")
+	} else {
+		flag.Set("test.benchtime", benchtime.String())
+	}
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchkernels:", err)
+		os.Exit(2)
+	}
+
+	var res Output
+	res.Schema = 2
+	res.GoVersion = rt.Version()
+	res.GOOS, res.GOARCH = rt.GOOS, rt.GOARCH
+	res.NumCPU = rt.NumCPU()
+	res.Microkernel = tile.MicroKernelName()
+	res.MicrokernelAccelerated = tile.MicroKernelAccelerated()
+	fmt.Fprintf(os.Stderr, "microkernel %s  num_cpu %d\n", res.Microkernel, res.NumCPU)
+
+	oldProcs := rt.GOMAXPROCS(0)
+	for _, p := range procs {
+		fmt.Fprintf(os.Stderr, "--- gomaxprocs %d ---\n", p)
+		rt.GOMAXPROCS(p)
+		res.Baselines = append(res.Baselines, runSuite(p))
+	}
+	rt.GOMAXPROCS(oldProcs)
 
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -217,7 +217,7 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 		fmt.Printf(" %.2f", u)
 	}
 	fmt.Println()
-	fmt.Printf("per-node stall (free worker, empty queue):")
+	fmt.Printf("per-node stall (idle-weighted capacity-seconds):")
 	dupDrops := 0
 	dispatched := map[string]int{}
 	for _, s := range rep.Sched {
@@ -231,6 +231,19 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 	fmt.Printf("per-node ready-queue peak:")
 	for _, s := range rep.Sched {
 		fmt.Printf(" %d", s.ReadyPeak)
+	}
+	fmt.Println()
+	fmt.Printf("per-node worker busy / steals:")
+	for _, s := range rep.Sched {
+		busy := 0.0
+		for _, b := range s.WorkerBusySeconds {
+			busy += b
+		}
+		steals := 0
+		for _, n := range s.StealsPerWorker {
+			steals += n
+		}
+		fmt.Printf(" %.3fs/%d", busy, steals)
 	}
 	fmt.Println()
 	fmt.Printf("dispatched by kind: %v", dispatched)

@@ -341,3 +341,71 @@ func TestChaosCrashSoak(t *testing.T) {
 		})
 	}
 }
+
+// TestChaosWorkStealingWorkers4 runs the chaos suite with 4 workers per
+// node, so the intra-node stealing path is exercised under faults (drops,
+// delays, reorders, duplicates) rather than shipping tested only at the 1–2
+// workers the other chaos suites pin. Factors must stay bit-identical to the
+// fault-free run and the effective message volume must match it exactly.
+func TestChaosWorkStealingWorkers4(t *testing.T) {
+	const mt, b = 10, 4
+	const workers = 4
+	d := dist.NewG2DBC(23)
+
+	t.Run("LU", func(t *testing.T) {
+		base, baseRep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 51), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range chaosSeeds(t) {
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				opt, plan, rec := chaosOpts(t, chaos.DefaultConfig(seed), 100*time.Millisecond, workers)
+				dumpChaosArtifacts(t, fmt.Sprintf("steal-lu-seed%d", seed), rec, plan)
+				fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 51), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				identicalLU(t, "chaos workers=4", base, fact, mt)
+				checkEffective(t, "LU", baseRep, rep)
+			})
+		}
+	})
+
+	t.Run("Cholesky", func(t *testing.T) {
+		base, baseRep, err := FactorCholesky(mt, b, d, GenSPD(mt, b, 52), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seed := range chaosSeeds(t) {
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				opt, plan, rec := chaosOpts(t, chaos.DefaultConfig(seed), 100*time.Millisecond, workers)
+				dumpChaosArtifacts(t, fmt.Sprintf("steal-cholesky-seed%d", seed), rec, plan)
+				fact, rep, err := FactorCholesky(mt, b, d, GenSPD(mt, b, 52), opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				identicalCholesky(t, "chaos workers=4", base, fact, mt)
+				checkEffective(t, "Cholesky", baseRep, rep)
+			})
+		}
+	})
+}
+
+// checkEffective asserts that the chaos run's effective per-pair message
+// counts (deliveries minus counted redeliveries) match the fault-free run's.
+func checkEffective(t *testing.T, label string, base, got *Report) {
+	t.Helper()
+	if base == nil || got == nil {
+		return
+	}
+	p := len(base.Stats.Messages)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			eff := got.Stats.Messages[i][j] - got.Stats.Redeliveries[i][j]
+			if eff != base.Stats.Messages[i][j] {
+				t.Errorf("%s: pair %d->%d effective messages %d != fault-free %d",
+					label, i, j, eff, base.Stats.Messages[i][j])
+			}
+		}
+	}
+}

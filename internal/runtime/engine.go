@@ -109,9 +109,12 @@ var ErrPeerAborted = errors.New("aborted: a peer node failed")
 
 // Options tunes the engine.
 type Options struct {
-	// Workers is the number of concurrent kernel executors per node
-	// (default 1). Values above 1 model multi-core nodes; correctness is
-	// guaranteed by the task graph for any value.
+	// Workers is the number of concurrent kernel executors per node. Values
+	// above 1 model multi-core nodes; correctness is guaranteed by the task
+	// graph for any value, and final factors are bit-identical across worker
+	// counts (kernels run whole tasks; the parallel GEMM preserves FP order).
+	// Workers <= 0 — including the zero value — is normalized to 1 by Run,
+	// the single normalization point; newEngine assumes a positive count.
 	Workers int
 	// Recorder, when non-nil, receives every kernel interval and message of
 	// the run (wall-clock seconds since the run started) for the
@@ -184,12 +187,22 @@ type ResilienceStats struct {
 
 // SchedStats describes one node's scheduling behaviour over a run.
 type SchedStats struct {
-	// StallSeconds is the total wall-clock time the node spent with at
-	// least one free worker and an empty ready queue while tasks were still
-	// outstanding — time lost waiting on remote tile arrivals or local
-	// predecessor completions rather than on compute. A node whose stall
-	// time dominates its kernel time is communication-bound.
+	// StallSeconds is the node's starvation integral in capacity-seconds:
+	// each worker that sits idle with nothing dispatchable contributes its
+	// idle wall-clock weighted by 1/Workers, so one idle worker out of four
+	// accrues a quarter of what a fully idle node does. Time lost waiting on
+	// remote tile arrivals or local predecessor completions rather than on
+	// compute; a node whose stall time dominates its kernel time is
+	// communication-bound. Idle tails after the node's last task are not
+	// counted, matching the single-worker accounting of earlier versions.
 	StallSeconds float64
+	// WorkerBusySeconds is the wall-clock each worker slot spent inside
+	// kernels — the per-worker utilization behind StallSeconds.
+	WorkerBusySeconds []float64
+	// StealsPerWorker counts, per worker slot, the tasks the slot took from
+	// another worker's deque because its own ran dry (intra-node work
+	// stealing). Always zero with a single worker.
+	StealsPerWorker []int
 	// ReadyPeak is the high-water mark of the node's ready queue: how much
 	// dispatchable work was queued behind the busy workers at the worst
 	// instant. Persistently small peaks mean the node is starved; large
@@ -308,11 +321,17 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		for kind, n := range e.dispatched {
 			byKind[kind.String()] = n
 		}
+		busy := make([]float64, len(e.busy))
+		for w, ns := range e.busy {
+			busy[w] = float64(ns) / 1e9
+		}
 		rep.Sched[rank] = SchedStats{
-			StallSeconds:     e.stallSeconds,
-			ReadyPeak:        e.readyPeak,
-			DuplicateDrops:   e.dupDrops,
-			DispatchedByKind: byKind,
+			StallSeconds:      float64(e.stallNanos.Load()) / 1e9 / float64(e.workers),
+			WorkerBusySeconds: busy,
+			StealsPerWorker:   append([]int(nil), e.disp.steals...),
+			ReadyPeak:         e.readyPeak,
+			DuplicateDrops:    e.dupDrops,
+			DispatchedByKind:  byKind,
 		}
 		rep.Resilience[rank] = ResilienceStats{
 			ReRequests:  e.reRequests,
@@ -393,11 +412,21 @@ type engine struct {
 	recvTotal  int
 	peakTiles  int
 
-	// Scheduler observability (Report.Sched).
-	stallSeconds float64
-	readyPeak    int
-	dupDrops     int
-	dispatched   map[dag.Kind]int
+	// disp fans dispatched jobs out to the worker goroutines through
+	// per-worker deques with stealing; busy accumulates per-slot kernel
+	// nanoseconds (each slot writes only its own entry, read after the
+	// workers join).
+	disp *dispatcher
+	busy []int64
+
+	// Scheduler observability (Report.Sched). stallNanos accumulates the
+	// workers' starved wall-clock (atomically — every worker adds its own
+	// wait spans); the report divides by the worker count to get the
+	// idle-weighted StallSeconds.
+	stallNanos atomic.Int64
+	readyPeak  int
+	dupDrops   int
+	dispatched map[dag.Kind]int
 
 	// Resilience (armed when arrival > 0): published caches the tile
 	// versions this node broadcast, so re-requests can be answered even
@@ -456,9 +485,10 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 		chaos:      opt.Chaos,
 		arrival:    opt.ArrivalTimeout,
 	}
-	if e.workers <= 0 {
-		e.workers = 1
-	}
+	// opt.Workers is already normalized (Run is the only normalization
+	// point); direct constructors must pass a positive count.
+	e.disp = newDispatcher(e.workers)
+	e.busy = make([]int64, e.workers)
 	if e.arrival > 0 {
 		e.resilient = true
 		e.published = make(map[cluster.Tag]*tile.Tile)
@@ -550,23 +580,31 @@ func (e *engine) run() error {
 		}
 	}()
 
-	type job struct {
-		idx    int
-		out    *tile.Tile
-		inputs []*tile.Tile
-	}
-	work := make(chan job, e.workers)
+	// Workers pull jobs from the stealing dispatcher: own deque front first,
+	// the coldest entry of the fullest peer deque when starved. A blocked
+	// take that eventually yields a job is a starvation span — charged to
+	// the node's idle-weighted stall account; the final wait that ends in
+	// shutdown is not (the node is done, not starved).
 	var workerWG sync.WaitGroup
 	for w := 0; w < e.workers; w++ {
 		workerWG.Add(1)
 		go func(slot int) {
 			defer workerWG.Done()
-			for jb := range work {
+			for {
+				jb, ok, waitStart, waitEnd := e.disp.take(slot)
+				if !ok {
+					return
+				}
+				if !waitStart.IsZero() {
+					e.noteStall(waitStart, waitEnd)
+				}
 				start := time.Now()
 				err := e.kern(e.owned[jb.idx], jb.out, jb.inputs)
+				end := time.Now()
+				e.busy[slot] += end.Sub(start).Nanoseconds()
 				if e.rec != nil {
 					e.rec.RecordTask(e.rank, slot, e.owned[jb.idx],
-						start.Sub(e.epoch).Seconds(), time.Since(e.epoch).Seconds())
+						start.Sub(e.epoch).Seconds(), end.Sub(e.epoch).Seconds())
 				}
 				events <- event{completed: jb.idx, err: err}
 			}
@@ -604,6 +642,17 @@ func (e *engine) run() error {
 	}
 	dispatchCount := 0
 
+	// feed moves ready tasks from the priority heap to the worker deques,
+	// resolving each task's input tiles here in the event loop (the recv and
+	// tiles maps are event-loop-owned). feedCap bounds dispatched-but-
+	// unfinished work: with several workers each may hold one running task
+	// plus one prefetched deque entry, giving idle workers something to
+	// steal; a single worker gets no prefetch, so its dispatch order is
+	// exactly the heap's priority order (the sim-vs-real crosscheck pins it).
+	feedCap := 2 * e.workers
+	if e.workers == 1 {
+		feedCap = 1
+	}
 	dispatch := func(idx int) {
 		t := e.owned[idx]
 		e.dispatched[t.Kind]++
@@ -622,27 +671,35 @@ func (e *engine) run() error {
 			}
 			inputs[k] = in
 		}
-		work <- job{idx: idx, out: out, inputs: inputs}
+		e.disp.push(job{idx: idx, out: out, inputs: inputs})
 	}
 
 	var abortErr error
 	aborted := false
 	recvClosed := recvDone // nilled after firing so the select stops spinning
 	done, inflight := 0, 0
+	// abortLocal handles this node's own failures (kernel error, protocol
+	// violation, injected crash): dispatching stops and queued-but-unstarted
+	// jobs are purged from the deques — their completions will never come, so
+	// the in-flight count drops with them — and only already-running kernels
+	// are awaited. A *peer* abort deliberately does not purge: jobs already
+	// dealt to the deques were dispatched before the poison arrived and still
+	// run (completions suppressed), so a node that was about to fail on its
+	// own reports its kernel error instead of the bystander sentinel
+	// regardless of how goroutine scheduling interleaved push and abort.
+	abortLocal := func(err error) {
+		aborted = true
+		abortErr = err
+		inflight -= e.disp.purge()
+	}
 	for {
-		if aborted {
-			// Abort: no new dispatches; wait only for already-running kernels.
-			if inflight == 0 {
-				break
-			}
-		} else {
-			for !e.ready.Empty() && inflight < e.workers {
+		if !aborted {
+			for !e.ready.Empty() && inflight < feedCap {
 				if crashAt >= 0 && dispatchCount == crashAt {
-					aborted = true
-					abortErr = fmt.Errorf("node %d died before its owned task %d: %w",
-						e.rank, dispatchCount, chaos.ErrInjectedCrash)
 					e.chaos.RecordCrash(e.rank, dispatchCount)
 					e.comm.Abort()
+					abortLocal(fmt.Errorf("node %d died before its owned task %d: %w",
+						e.rank, dispatchCount, chaos.ErrInjectedCrash))
 					break
 				}
 				dispatch(int(e.ready.Pop()))
@@ -652,17 +709,10 @@ func (e *engine) run() error {
 			if !aborted && done == total {
 				break
 			}
-			if aborted && inflight == 0 {
-				break
-			}
 		}
-		// A free worker with nothing ready while tasks that could feed it are
-		// still outstanding means the node is stalled on communication or on
-		// local predecessors — measure that starvation.
-		stalled := !aborted && inflight < e.workers && done+inflight < total
-		var stallStart time.Time
-		if stalled {
-			stallStart = time.Now()
+		if aborted && inflight == 0 {
+			// Abort: nothing running anymore, nothing will be dispatched.
+			break
 		}
 		select {
 		case ev := <-events:
@@ -674,9 +724,8 @@ func (e *engine) run() error {
 					// Protocol violation (conflicting duplicate delivery):
 					// fail this node descriptively instead of panicking, and
 					// poison the cluster like any other node failure.
-					aborted = true
-					abortErr = err
 					e.comm.Abort()
+					abortLocal(err)
 				}
 			default:
 				inflight--
@@ -687,9 +736,8 @@ func (e *engine) run() error {
 						// stop dispatching, and poison the cluster so peers
 						// blocked on tiles we will never produce wake up. The
 						// failed task's output is never published.
-						aborted = true
-						abortErr = fmt.Errorf("%v: %w", e.owned[ev.completed], ev.err)
 						e.comm.Abort()
+						abortLocal(fmt.Errorf("%v: %w", e.owned[ev.completed], ev.err))
 					} else if errors.Is(abortErr, ErrPeerAborted) {
 						// This node failed too, it just noticed the peer's
 						// poison first: its own kernel error is the better
@@ -706,7 +754,9 @@ func (e *engine) run() error {
 			recvClosed = nil
 			if !aborted {
 				// The cluster was poisoned while we still have unfinished
-				// work: a peer failed.
+				// work: a peer failed. No purge — already-dispatched jobs
+				// drain through the workers (see abortLocal), and their
+				// completions bring inflight to zero.
 				aborted = true
 				abortErr = ErrPeerAborted
 			}
@@ -715,16 +765,8 @@ func (e *engine) run() error {
 				e.onTick()
 			}
 		}
-		if stalled {
-			end := time.Now()
-			e.stallSeconds += end.Sub(stallStart).Seconds()
-			if e.rec != nil {
-				e.rec.RecordStall(e.rank,
-					stallStart.Sub(e.epoch).Seconds(), end.Sub(e.epoch).Seconds())
-			}
-		}
 	}
-	close(work)
+	e.disp.close()
 	workerWG.Wait()
 	// Absorb (and release) any late messages until the cluster is closed, so
 	// remote senders and our receiver goroutine can always make progress. In
@@ -796,6 +838,21 @@ func (e *engine) answerRequest(msg cluster.Message, live bool) {
 		e.rec.RecordFault("redeliver", e.rank, msg.From,
 			fmt.Sprintf("(%d,%d)v%d", msg.Tag.I, msg.Tag.J, msg.Tag.V),
 			time.Since(e.epoch).Seconds())
+	}
+}
+
+// noteStall charges one worker's starved interval to the node's stall
+// account: StallSeconds integrates idle-worker-time weighted by 1/workers,
+// so a node with one of four workers starved accrues a quarter of what a
+// fully idle node does (the pre-weighting accounting charged full wall-clock
+// whenever any worker was free). Called from worker goroutines; the nanos
+// accumulate atomically and the recorder locks internally.
+func (e *engine) noteStall(start, end time.Time) {
+	e.stallNanos.Add(end.Sub(start).Nanoseconds())
+	if e.rec != nil {
+		e.rec.RecordStall(e.rank,
+			start.Sub(e.epoch).Seconds(), end.Sub(e.epoch).Seconds(),
+			1/float64(e.workers))
 	}
 }
 

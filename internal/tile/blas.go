@@ -183,8 +183,8 @@ func Syrk(uplo Uplo, trans Trans, alpha float64, a *Tile, beta float64, c *Tile)
 	// ad/lda view op(A) row-major: rows are contiguous slices of length k.
 	ad, lda := a.Data, a.Cols
 	if trans == TransT {
-		buf := getPackBuf(n * k)
-		t := *buf
+		buf := getPack(n * k)
+		t := buf.Data
 		for l := 0; l < k; l++ {
 			src := a.Row(l)
 			for i, v := range src {
@@ -192,7 +192,7 @@ func Syrk(uplo Uplo, trans Trans, alpha float64, a *Tile, beta float64, c *Tile)
 			}
 		}
 		ad, lda = t, k
-		defer packBuf.Put(buf)
+		defer putPack(buf)
 	}
 	syrkView(uplo, alpha, ad, lda, n, k, c.Data, c.Cols)
 }
@@ -234,8 +234,8 @@ func syrkView(uplo Uplo, alpha float64, ad []float64, lda, n, k int, cdata []flo
 		if k >= syrkDiagMinDepth && bw >= syrkDiagMinWidth {
 			// Diagonal block: full bw×bw square through the microkernel into
 			// a zeroed scratch block, then fold only the triangle into C.
-			buf := getPackBuf(bw * bw)
-			s := *buf
+			buf := getPack(bw * bw)
+			s := buf.Data
 			for i := range s {
 				s[i] = 0
 			}
@@ -256,7 +256,7 @@ func syrkView(uplo Uplo, alpha float64, ad []float64, lda, n, k int, cdata []flo
 					}
 				}
 			}
-			packBuf.Put(buf)
+			putPack(buf)
 			continue
 		}
 		// Shallow diagonal triangle: scalar dot products over contiguous rows.
@@ -317,8 +317,8 @@ func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Til
 	ad, lda := a.Data, a.Cols
 	effUplo := uplo
 	if trans == TransT {
-		buf := getPackBuf(n * n)
-		t := *buf
+		buf := getPack(n * n)
+		t := buf.Data
 		for i := 0; i < n; i++ {
 			src := a.Row(i)
 			for j, v := range src {
@@ -326,7 +326,7 @@ func Trsm(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *Til
 			}
 		}
 		ad, lda = t, n
-		defer packBuf.Put(buf)
+		defer putPack(buf)
 		if uplo == Lower {
 			effUplo = Upper
 		} else {

@@ -113,8 +113,8 @@ func potrfBlocked(a *Tile) error {
 			// Transpose the freshly factored diagonal block into a pooled
 			// buffer so the solve runs on an effective upper triangle with
 			// contiguous rows.
-			buf := getPackBuf(kb * kb)
-			t := *buf
+			buf := getPack(kb * kb)
+			t := buf.Data
 			diagBase := ad[k*lda+k:]
 			for i := 0; i < kb; i++ {
 				for j := 0; j <= i; j++ {
@@ -123,7 +123,7 @@ func potrfBlocked(a *Tile) error {
 			}
 			trsmBlockedView(Right, Upper, NonUnit, t, kb, kb,
 				ad[(k+kb)*lda+k:], lda, n-k-kb, kb)
-			packBuf.Put(buf)
+			putPack(buf)
 			// Trailing update: A22 -= P·Pᵀ on the lower triangle, through the
 			// SYRK view (off-diagonal rectangles are packed GEMM).
 			syrkView(Lower, -1, ad[(k+kb)*lda+k:], lda, n-k-kb, kb,

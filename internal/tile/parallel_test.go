@@ -1,0 +1,136 @@
+package tile
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// withProcs runs f under a forced GOMAXPROCS and restores the old value.
+func withProcs(t *testing.T, procs int, f func()) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(old)
+	f()
+}
+
+func seededTile(rows, cols int, seed int64) *Tile {
+	return randomTile(rand.New(rand.NewSource(seed)), rows, cols)
+}
+
+// TestGemmBitIdenticalAcrossGOMAXPROCS: the parallel panel driver must
+// produce bit-identical results for any GOMAXPROCS — the per-C-element FP
+// accumulation order is the same serial kk loop in both paths, so this holds
+// exactly, not approximately. Sizes straddle the parallel volume cutoff and
+// include odd shapes whose last row panel and microkernel tiles are partial.
+func TestGemmBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	sizes := [][3]int{
+		{256, 256, 256}, // above cutoff, even panels
+		{193, 161, 313}, // above cutoff, ragged edges in every dimension
+		{96, 96, 96},    // below cutoff: must stay on the serial path
+	}
+	for _, sz := range sizes {
+		m, n, k := sz[0], sz[1], sz[2]
+		for _, ta := range []Trans{NoTrans, TransT} {
+			for _, tb := range []Trans{NoTrans, TransT} {
+				a := seededTile(m, k, 1)
+				if ta == TransT {
+					a = seededTile(k, m, 1)
+				}
+				b := seededTile(k, n, 2)
+				if tb == TransT {
+					b = seededTile(n, k, 2)
+				}
+				want := seededTile(m, n, 3)
+				withProcs(t, 1, func() { Gemm(ta, tb, -0.5, a, b, 1, want) })
+				for _, procs := range []int{2, 4, 8} {
+					got := seededTile(m, n, 3)
+					withProcs(t, procs, func() { Gemm(ta, tb, -0.5, a, b, 1, got) })
+					if !got.EqualApprox(want, 0) {
+						t.Fatalf("Gemm %dx%dx%d ta=%d tb=%d: GOMAXPROCS=%d differs from 1",
+							m, n, k, ta, tb, procs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedKernelsBitIdenticalAcrossGOMAXPROCS: the blocked TRSM, SYRK,
+// GETRF and POTRF all route their bulk through gemmView, so they inherit the
+// parallel path — and must inherit its exact determinism too.
+func TestBlockedKernelsBitIdenticalAcrossGOMAXPROCS(t *testing.T) {
+	const n = 320 // trailing updates comfortably above the parallel cutoff
+	run := func(name string, f func() *Tile) {
+		var want *Tile
+		withProcs(t, 1, func() { want = f() })
+		for _, procs := range []int{2, 8} {
+			var got *Tile
+			withProcs(t, procs, func() { got = f() })
+			if !got.EqualApprox(want, 0) {
+				t.Fatalf("%s: GOMAXPROCS=%d differs from 1", name, procs)
+			}
+		}
+	}
+
+	run("Getrf", func() *Tile {
+		a := domTile(rand.New(rand.NewSource(11)), n)
+		if err := Getrf(a); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	})
+	run("Potrf", func() *Tile {
+		a := spdTile(rand.New(rand.NewSource(12)), n)
+		if err := Potrf(a); err != nil {
+			t.Fatal(err)
+		}
+		return a
+	})
+	run("TrsmLeftLowerTrans", func() *Tile {
+		a := domTile(rand.New(rand.NewSource(13)), n)
+		b := seededTile(n, n, 14)
+		Trsm(Left, Lower, TransT, NonUnit, 1, a, b)
+		return b
+	})
+	run("SyrkTrans", func() *Tile {
+		a := seededTile(n, n, 15)
+		c := seededTile(n, n, 16)
+		Syrk(Lower, TransT, -1, a, 2, c)
+		return c
+	})
+}
+
+// TestParallelGemmMatchesDirectLoops pins numeric correctness of the
+// parallel path against the unblocked reference loops under a forced
+// multi-proc setting, on shapes that exercise partial panels at every level.
+func TestParallelGemmMatchesDirectLoops(t *testing.T) {
+	const m, n, k = 257, 131, 301
+	a := seededTile(m, k, 21)
+	b := seededTile(k, n, 22)
+	got := seededTile(m, n, 23)
+	want := got.Clone()
+	withProcs(t, 4, func() { Gemm(NoTrans, NoTrans, 1.5, a, b, -2, got) })
+	// Reference: scale then accumulate with plain loops.
+	for i := range want.Data {
+		want.Data[i] *= -2
+	}
+	for i := 0; i < m; i++ {
+		for l := 0; l < k; l++ {
+			s := 1.5 * a.At(i, l)
+			for j := 0; j < n; j++ {
+				want.Set(i, j, want.At(i, j)+s*b.At(l, j))
+			}
+		}
+	}
+	maxDiff := 0.0
+	for i, v := range got.Data {
+		if d := math.Abs(v - want.Data[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 1e-9*float64(k) {
+		t.Fatalf("parallel Gemm deviates from reference loops by %g", maxDiff)
+	}
+}

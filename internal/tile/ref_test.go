@@ -30,8 +30,8 @@ func trsmRef(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *
 	ad, lda := a.Data, a.Cols
 	effUplo := uplo
 	if trans == TransT {
-		buf := getPackBuf(n * n)
-		t := *buf
+		buf := getPack(n * n)
+		t := buf.Data
 		for i := 0; i < n; i++ {
 			src := a.Row(i)
 			for j, v := range src {
@@ -39,7 +39,7 @@ func trsmRef(side Side, uplo Uplo, trans Trans, diag Diag, alpha float64, a, b *
 			}
 		}
 		ad, lda = t, n
-		defer packBuf.Put(buf)
+		defer putPack(buf)
 		if uplo == Lower {
 			effUplo = Upper
 		} else {
@@ -177,8 +177,8 @@ func syrkRef(uplo Uplo, trans Trans, alpha float64, a *Tile, beta float64, c *Ti
 
 	ad, lda := a.Data, a.Cols
 	if trans == TransT {
-		buf := getPackBuf(n * k)
-		t := *buf
+		buf := getPack(n * k)
+		t := buf.Data
 		for l := 0; l < k; l++ {
 			src := a.Row(l)
 			for i, v := range src {
@@ -186,7 +186,7 @@ func syrkRef(uplo Uplo, trans Trans, alpha float64, a *Tile, beta float64, c *Ti
 			}
 		}
 		ad, lda = t, k
-		defer packBuf.Put(buf)
+		defer putPack(buf)
 	}
 
 	for j0 := 0; j0 < n; j0 += syrkBlock {

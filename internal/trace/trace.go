@@ -32,12 +32,16 @@ type MessageEvent struct {
 	Bytes          int
 }
 
-// StallEvent is one interval during which a node had at least one free
-// worker and nothing ready to dispatch — scheduler starvation, attributable
-// to communication or to predecessor tasks on other nodes.
+// StallEvent is one interval during which one of a node's workers was free
+// with nothing ready to dispatch — scheduler starvation, attributable to
+// communication or to predecessor tasks on other nodes. Weight is the
+// interval's share of the node's capacity: one idle worker out of W carries
+// weight 1/W, so summed weighted stalls measure lost capacity-seconds rather
+// than counting a 1-of-4-idle node like a fully idle one.
 type StallEvent struct {
 	Node       int
 	Start, End float64
+	Weight     float64
 }
 
 // FaultEvent is one injected fault or recovery action: chaos-injected
@@ -76,10 +80,11 @@ func (r *Recorder) RecordMessage(src, dst int, depart, arrive float64, bytes int
 	r.mu.Unlock()
 }
 
-// RecordStall appends a scheduler-starvation interval for a node.
-func (r *Recorder) RecordStall(node int, start, end float64) {
+// RecordStall appends a scheduler-starvation interval for a node, weighted
+// by the idle share of the node's workers it represents (see StallEvent).
+func (r *Recorder) RecordStall(node int, start, end, weight float64) {
 	r.mu.Lock()
-	r.Stalls = append(r.Stalls, StallEvent{Node: node, Start: start, End: end})
+	r.Stalls = append(r.Stalls, StallEvent{Node: node, Start: start, End: end, Weight: weight})
 	r.mu.Unlock()
 }
 
@@ -123,10 +128,11 @@ func (r *Recorder) BusyPerNode(p int) []float64 {
 	return out
 }
 
-// StallPerNode returns the summed scheduler-starvation time per node for a
-// cluster of p nodes, with the same sizing rule as BusyPerNode: idle nodes
-// report zero, and the output grows beyond p only if some event names a
-// higher node.
+// StallPerNode returns the summed weighted scheduler-starvation time per
+// node for a cluster of p nodes, with the same sizing rule as BusyPerNode:
+// idle nodes report zero, and the output grows beyond p only if some event
+// names a higher node. Each interval contributes (End-Start)·Weight, so the
+// totals agree with Report.Sched.StallSeconds under multi-worker nodes.
 func (r *Recorder) StallPerNode(p int) []float64 {
 	for _, e := range r.Stalls {
 		if e.Node >= p {
@@ -135,7 +141,7 @@ func (r *Recorder) StallPerNode(p int) []float64 {
 	}
 	out := make([]float64, p)
 	for _, e := range r.Stalls {
-		out[e.Node] += e.End - e.Start
+		out[e.Node] += (e.End - e.Start) * e.Weight
 	}
 	return out
 }
@@ -224,6 +230,9 @@ func (r *Recorder) Validate() error {
 	for _, s := range r.Stalls {
 		if s.End < s.Start {
 			return fmt.Errorf("trace: stall on node %d has negative duration", s.Node)
+		}
+		if s.Weight < 0 || s.Weight > 1 {
+			return fmt.Errorf("trace: stall on node %d has weight %g outside [0, 1]", s.Node, s.Weight)
 		}
 	}
 	return nil

@@ -108,18 +108,19 @@ func TestValidate(t *testing.T) {
 	}
 }
 
-// TestStallRecording: stall intervals accumulate per node with the same
-// sizing rule as BusyPerNode, and Validate rejects negative-duration stalls.
+// TestStallRecording: stall intervals accumulate per node weighted by their
+// idle share, with the same sizing rule as BusyPerNode, and Validate rejects
+// negative-duration and out-of-range-weight stalls.
 func TestStallRecording(t *testing.T) {
 	r := &Recorder{}
-	r.RecordStall(1, 0, 0.5)
-	r.RecordStall(1, 2, 2.25)
-	r.RecordStall(3, 0, 1)
+	r.RecordStall(1, 0, 0.5, 1)
+	r.RecordStall(1, 2, 2.25, 1)
+	r.RecordStall(3, 0, 1, 0.25) // 1 of 4 workers idle: quarter weight
 	st := r.StallPerNode(2)
 	if len(st) != 4 {
 		t.Fatalf("StallPerNode(2) length %d, want 4 (events beyond p extend)", len(st))
 	}
-	if st[0] != 0 || math.Abs(st[1]-0.75) > 1e-12 || st[2] != 0 || st[3] != 1 {
+	if st[0] != 0 || math.Abs(st[1]-0.75) > 1e-12 || st[2] != 0 || st[3] != 0.25 {
 		t.Fatalf("StallPerNode = %v", st)
 	}
 	if got := r.StallPerNode(6); len(got) != 6 || got[5] != 0 {
@@ -129,9 +130,14 @@ func TestStallRecording(t *testing.T) {
 		t.Fatalf("valid stalls rejected: %v", err)
 	}
 	bad := &Recorder{}
-	bad.RecordStall(0, 2, 1)
+	bad.RecordStall(0, 2, 1, 1)
 	if err := bad.Validate(); err == nil {
 		t.Fatal("negative-duration stall accepted")
+	}
+	badW := &Recorder{}
+	badW.RecordStall(0, 1, 2, 1.5)
+	if err := badW.Validate(); err == nil {
+		t.Fatal("stall weight above 1 accepted")
 	}
 }
 
