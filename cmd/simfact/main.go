@@ -14,6 +14,11 @@
 //	simfact -gantt out -p 23 -n 25000            # simulated trace
 //	simfact -gantt out -real -p 23 -n 512 -tb 16 # wall-clock trace
 //
+// Both gantt modes accept -tree to switch the broadcast transport from the
+// paper's flat point-to-point fan-out to a binomial tree (the root sends
+// ⌈log₂(k+1)⌉ hops and recipients relay onward); the run reports wire hops
+// and relay counts alongside the mode-independent logical message counts.
+//
 // With -real, -chaos-seed N additionally injects the deterministic fault
 // plan chaos.DefaultConfig(N) (delays, reorders, duplicates, drops healed by
 // re-requests) and writes the injected faults to <prefix>-faults.csv; the
@@ -29,6 +34,7 @@ import (
 	"os"
 
 	"anybc/internal/chaos"
+	"anybc/internal/cluster"
 	"anybc/internal/core"
 	"anybc/internal/dag"
 	"anybc/internal/experiments"
@@ -53,15 +59,20 @@ func main() {
 		tb     = flag.Int("tb", 16, "gantt -real mode: tile size in elements")
 		work   = flag.Int("workers", 2, "gantt -real mode: worker goroutines per node")
 		cseed  = flag.Int64("chaos-seed", -1, "gantt -real mode: inject the deterministic fault plan of this seed (-1 disables)")
+		tree   = flag.Bool("tree", false, "gantt mode: binomial-tree broadcast transport instead of flat fan-out")
 	)
 	flag.Parse()
 
 	if *gantt != "" {
+		bc := cluster.BroadcastFlat
+		if *tree {
+			bc = cluster.BroadcastTree
+		}
 		var err error
 		if *real {
-			err = runGanttReal(*gantt, *p, *n, *tb, *work, *scheme, *kernel, *cseed)
+			err = runGanttReal(*gantt, *p, *n, *tb, *work, *scheme, *kernel, *cseed, bc)
 		} else {
-			err = runGantt(*gantt, *p, *n, *scheme, *kernel)
+			err = runGantt(*gantt, *p, *n, *scheme, *kernel, bc)
 		}
 		if err != nil {
 			fatal(err)
@@ -117,7 +128,7 @@ func main() {
 
 // runGantt simulates one (scheme, P, N) point with tracing enabled and
 // writes Gantt and message CSVs plus a utilization summary.
-func runGantt(prefix string, p, n int, scheme, kernel string) error {
+func runGantt(prefix string, p, n int, scheme, kernel string, bc cluster.BroadcastMode) error {
 	const b = 500
 	mt := n / b
 	if mt < 1 {
@@ -140,7 +151,7 @@ func runGantt(prefix string, p, n int, scheme, kernel string) error {
 	}
 	m := simulate.PaperMachine()
 	rec := &trace.Recorder{}
-	res, err := simulate.Run(g, b, d, m, simulate.Options{Recorder: rec})
+	res, err := simulate.Run(g, b, d, m, simulate.Options{Recorder: rec, Broadcast: bc})
 	if err != nil {
 		return err
 	}
@@ -149,6 +160,8 @@ func runGantt(prefix string, p, n int, scheme, kernel string) error {
 	}
 	fmt.Printf("%s on %s: %.0f GFlop/s, makespan %.3f s, %d messages\n",
 		g.Name(), d.Name(), res.GFlops(), res.Makespan, res.Messages)
+	fmt.Printf("broadcast %s: %d wire hops (%d relayed by recipients)\n",
+		bc, res.Hops, res.Forwards)
 	fmt.Printf("per-node utilization:")
 	for _, u := range rec.Utilization(m.Workers, d.Nodes()) {
 		fmt.Printf(" %.2f", u)
@@ -162,7 +175,7 @@ func runGantt(prefix string, p, n int, scheme, kernel string) error {
 // runGanttReal executes one real (numeric) factorization on the virtual
 // cluster with wall-clock tracing and writes the same CSV pair as the
 // simulated mode, plus working-set statistics from the release path.
-func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, chaosSeed int64) error {
+func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, chaosSeed int64, bc cluster.BroadcastMode) error {
 	mt := n / b
 	if mt < 2 {
 		return fmt.Errorf("matrix size %d below two %d-element tiles", n, b)
@@ -174,7 +187,7 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 		return err
 	}
 	rec := &trace.Recorder{}
-	opt := runtime.Options{Workers: workers, Recorder: rec}
+	opt := runtime.Options{Workers: workers, Recorder: rec, Broadcast: bc}
 	var plan *chaos.Plan
 	if chaosSeed >= 0 {
 		if plan, err = chaos.New(chaos.DefaultConfig(chaosSeed)); err != nil {
@@ -206,6 +219,20 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 	fmt.Printf("%s on %s (real run): wall time %v, %d messages, %.2f MB on the wire\n",
 		name, d.Name(), rep.Elapsed, rep.Stats.TotalMessages(),
 		float64(rep.Stats.TotalBytes())/1e6)
+	fmt.Printf("broadcast %s: %d wire hops, %d relayed by recipients\n",
+		rep.Broadcast, rep.Stats.TotalHops(), rep.Stats.TotalForwards())
+	if rep.Broadcast == cluster.BroadcastTree {
+		fmt.Printf("per-node outgoing hops:")
+		for _, h := range rep.Stats.HopsByNode() {
+			fmt.Printf(" %d", h)
+		}
+		fmt.Println()
+		fmt.Printf("per-node relay hops:")
+		for _, f := range rep.ForwardedPerNode {
+			fmt.Printf(" %d", f)
+		}
+		fmt.Println()
+	}
 	peak, foot := 0, 0
 	for node, pk := range rep.PeakTilesPerNode {
 		peak += pk

@@ -6,6 +6,24 @@
 // message carrying exactly one tile, so the message count equals the tile
 // communication volume that Equations (1) and (2) predict — the counters here
 // are what the integration tests compare against those formulas.
+//
+// # Logical messages vs wire hops
+//
+// The cluster keeps two views of every broadcast. The logical view
+// (Stats.Messages, Stats.Bytes) counts one message from the publishing owner
+// to each consumer node, exactly the paper's model, regardless of how the
+// payload physically travels. The wire view (Stats.Hops, Stats.Forwards)
+// counts the physical transmissions on each link. Under BroadcastFlat the two
+// coincide. Under BroadcastTree the owner transmits only to its
+// ⌈log₂(k+1)⌉ binomial-tree children and recipients relay the shared payload
+// onward (Comm.Forward), so the logical counters — and with them every
+// Equation (1)/(2) check — are untouched while the owner's NIC serialization
+// shrinks from k sends to ⌈log₂(k+1)⌉. Conservation: each wire hop serves
+// exactly one logical delivery (or one redelivery), so in a fault-free run
+// TotalHops = TotalMessages, decomposed as root sends + forwards +
+// redeliveries; a fault-injecting network can only lose hops (a dropped
+// interior forward strands its subtree until re-request healing resends
+// directly), never mint them.
 package cluster
 
 import (
@@ -38,6 +56,13 @@ type Tag struct {
 // when done with it, which returns the buffer to the cluster's pool after
 // the last recipient lets go.
 //
+// Under tree broadcast a non-empty Forward names the binomial subtree this
+// recipient must relay the payload to: the recipient passes the message to
+// Comm.Forward exactly once (on its first delivery of the tag — duplicates
+// must not re-forward) and then consumes and Releases its own share as
+// usual. Forward slices are read-only to recipients and shared between the
+// hops of one broadcast.
+//
 // A message with Req set carries no payload: it is a control message asking
 // the destination (the owner of the tagged tile) to re-send the published
 // version Tag, the healing half of the runtime's arrival-timeout protocol.
@@ -46,7 +71,8 @@ type Message struct {
 	Tag      Tag
 	Payload  *tile.Tile
 	SentAt   time.Time
-	Req      bool // version re-request control message (Payload is nil)
+	Req      bool  // version re-request control message (Payload is nil)
+	Forward  []int // tree broadcast: destinations this recipient relays to
 	shared   *sharedPayload // nil for hand-built messages (tests)
 }
 
@@ -169,16 +195,50 @@ type Network interface {
 	Deliver(msg Message, deliver func(Message))
 }
 
+// BroadcastMode selects how SendAll moves one published tile to its k
+// consumer nodes.
+type BroadcastMode int
+
+const (
+	// BroadcastFlat is the paper's pure point-to-point model: the owner
+	// serializes k NIC sends, one per destination. The default.
+	BroadcastFlat BroadcastMode = iota
+	// BroadcastTree routes the payload down a binomial tree: the owner sends
+	// to ⌈log₂(k+1)⌉ children and every recipient relays the shared payload
+	// to its own subtree (Comm.Forward), pipelining the broadcast across the
+	// recipients' NICs. Logical counters (Stats.Messages/Bytes) are
+	// unchanged; only the wire hops (Stats.Hops/Forwards) re-route.
+	BroadcastTree
+)
+
+func (m BroadcastMode) String() string {
+	if m == BroadcastTree {
+		return "tree"
+	}
+	return "flat"
+}
+
+// Options configures a cluster beyond its node count.
+type Options struct {
+	// Net is the fault-injection seam; nil is the faithful network.
+	Net Network
+	// Broadcast selects the SendAll transport (default BroadcastFlat).
+	Broadcast BroadcastMode
+}
+
 // Cluster is a set of P virtual nodes with an all-to-all network.
 type Cluster struct {
 	p            int
 	inboxes      []*mailbox
-	messages     []atomic.Int64 // p*p counters, src*p+dst
+	messages     []atomic.Int64 // p*p logical counters, src*p+dst (owner→consumer)
 	bytes        []atomic.Int64
+	hops         []atomic.Int64 // p*p wire transmissions per physical link
+	forwards     []atomic.Int64 // wire hops sent by tree relays (subset of hops)
 	requests     []atomic.Int64 // control re-requests, src*p+dst
 	redeliveries []atomic.Int64 // payload re-sends answered by owners
 	net          Network        // nil on a fault-free cluster
-	pool         tile.Pool      // recycles send clones released by receivers
+	broadcast    BroadcastMode
+	pool         tile.Pool // recycles send clones released by receivers
 }
 
 // New creates a cluster of p nodes with a faithful (fault-free) network.
@@ -189,6 +249,12 @@ func New(p int) *Cluster {
 // NewWithNetwork creates a cluster of p nodes whose deliveries are routed
 // through net; a nil net is the faithful network of New.
 func NewWithNetwork(p int, net Network) *Cluster {
+	return NewWithOptions(p, Options{Net: net})
+}
+
+// NewWithOptions creates a cluster of p nodes with the given network seam and
+// broadcast transport.
+func NewWithOptions(p int, opt Options) *Cluster {
 	if p <= 0 {
 		panic(fmt.Sprintf("cluster: invalid node count %d", p))
 	}
@@ -197,15 +263,21 @@ func NewWithNetwork(p int, net Network) *Cluster {
 		inboxes:      make([]*mailbox, p),
 		messages:     make([]atomic.Int64, p*p),
 		bytes:        make([]atomic.Int64, p*p),
+		hops:         make([]atomic.Int64, p*p),
+		forwards:     make([]atomic.Int64, p*p),
 		requests:     make([]atomic.Int64, p*p),
 		redeliveries: make([]atomic.Int64, p*p),
-		net:          net,
+		net:          opt.Net,
+		broadcast:    opt.Broadcast,
 	}
 	for i := range c.inboxes {
 		c.inboxes[i] = newMailbox()
 	}
 	return c
 }
+
+// Broadcast returns the cluster's broadcast transport mode.
+func (c *Cluster) Broadcast() BroadcastMode { return c.broadcast }
 
 // dispatch hands one message to the network seam (or straight to the
 // destination mailbox on a faithful cluster).
@@ -266,9 +338,14 @@ func (c *Comm) Send(dst int, tag Tag, payload *tile.Tile) {
 // the payload once for the whole broadcast instead of once per destination:
 // kernel inputs are read-only, so all recipients share the same immutable
 // buffer, which returns to the cluster's pool after the last Release. The
-// traffic counters still count one point-to-point message per destination —
-// the communication-volume semantics the integration tests check are
-// unchanged. Destinations must be distinct; self-sends are rejected.
+// logical traffic counters count one point-to-point message per destination
+// regardless of the broadcast mode — the communication-volume semantics the
+// integration tests check are unchanged — while the wire hops follow the
+// cluster's BroadcastMode: flat fan-out from the owner, or a binomial tree
+// whose recipients relay the shared payload onward via Comm.Forward.
+// Destinations must be distinct; self-sends and duplicates are rejected
+// before any buffer is cloned, so a malformed destination list cannot leak a
+// pooled clone or half-dispatch the broadcast.
 func (c *Comm) SendAll(dsts []int, tag Tag, payload *tile.Tile) {
 	if len(dsts) == 0 {
 		return
@@ -278,20 +355,105 @@ func (c *Comm) SendAll(dsts []int, tag Tag, payload *tile.Tile) {
 
 func (c *Comm) sendAll(dsts []int, tag Tag, payload *tile.Tile) {
 	cl := c.cluster
-	cp := cl.pool.Clone(payload)
-	sh := &sharedPayload{pool: &cl.pool, t: cp}
-	sh.refs.Store(int32(len(dsts)))
-	now := time.Now()
-	bytes := int64(payload.Bytes())
-	for _, dst := range dsts {
+	// Validate the full destination list before cloning or dispatching
+	// anything: a panic here must leave no pooled clone with a refcount the
+	// receivers can never drain, and no partially delivered broadcast.
+	for i, dst := range dsts {
 		if dst == c.rank {
 			panic("cluster: self-send; local data must not go through the network")
 		}
+		if dst < 0 || dst >= cl.p {
+			panic(fmt.Sprintf("cluster: destination %d outside the %d-node cluster", dst, cl.p))
+		}
+		for _, prev := range dsts[:i] {
+			if prev == dst {
+				panic(fmt.Sprintf("cluster: duplicate destination %d in broadcast; destinations must be distinct", dst))
+			}
+		}
+	}
+	cp := cl.pool.Clone(payload)
+	sh := &sharedPayload{pool: &cl.pool, t: cp}
+	now := time.Now()
+	// Count what is actually on the wire: cp is the transport's private
+	// clone, so the counters cannot diverge from the shipped bytes even if
+	// the caller mutates or resizes the original payload concurrently.
+	bytes := int64(cp.Bytes())
+	for _, dst := range dsts {
 		idx := c.rank*cl.p + dst
 		cl.messages[idx].Add(1)
 		cl.bytes[idx].Add(bytes)
+	}
+	if cl.broadcast == BroadcastTree && len(dsts) > 1 {
+		// The Forward subtrees ride inside in-flight messages long after this
+		// call returns, so they must not alias the caller's dsts slice —
+		// publishers reuse it as scratch. One private copy serves the whole
+		// tree: TreeFanout (here and in every downstream Forward) only ever
+		// hands out disjoint subranges of it.
+		children, subtrees := TreeFanout(append([]int(nil), dsts...))
+		sh.refs.Store(int32(len(children)))
+		for i, child := range children {
+			cl.hops[c.rank*cl.p+child].Add(1)
+			cl.dispatch(Message{From: c.rank, To: child, Tag: tag, Payload: cp,
+				SentAt: now, Forward: subtrees[i], shared: sh})
+		}
+		return
+	}
+	sh.refs.Store(int32(len(dsts)))
+	for _, dst := range dsts {
+		cl.hops[c.rank*cl.p+dst].Add(1)
 		cl.dispatch(Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: now, shared: sh})
 	}
+}
+
+// Forward relays a tree-broadcast message onward: the caller received msg
+// with a non-empty Forward list and passes it here exactly once, on the
+// first delivery of the tag (re-forwarding a duplicate would double-count
+// the subtree's hops and deliveries). The subtree is split binomially again
+// — this node plays root for its Forward list — so the whole broadcast
+// completes in ⌈log₂(k+1)⌉ serial hops on every participant's NIC. Each
+// relayed hop shares the broadcast's refcounted payload, passes through the
+// fault seam like any delivery, and is counted as a wire hop and a forward,
+// never as a logical message: the paper's Equation (1)/(2) accounting
+// already charged the owner→consumer volume at SendAll time. Returns the
+// number of hops sent. The caller still owns its payload share and releases
+// it through the usual Message.Release path.
+func (c *Comm) Forward(msg Message) int {
+	if len(msg.Forward) == 0 {
+		return 0
+	}
+	cl := c.cluster
+	children, subtrees := TreeFanout(msg.Forward)
+	now := time.Now()
+	for i, child := range children {
+		idx := c.rank*cl.p + child
+		cl.hops[idx].Add(1)
+		cl.forwards[idx].Add(1)
+		hop := msg.Dup()
+		hop.From, hop.To, hop.SentAt, hop.Forward = c.rank, child, now, subtrees[i]
+		cl.dispatch(hop)
+	}
+	return len(children)
+}
+
+// TreeFanout splits an ordered broadcast destination list into the binomial
+// tree rooted at the sender: children are the sender's direct recipients —
+// ⌈log₂(len(dsts)+1)⌉ of them — and subtrees[i] is the slice of dsts that
+// children[i] must relay onward (possibly empty). Every destination appears
+// exactly once across children and subtrees, and applying TreeFanout
+// recursively to each subtree reproduces the classic binomial broadcast:
+// with virtual ranks 0..k (sender = 0), rank 2^j receives from the sender
+// and covers ranks [2^j, min(2^{j+1}, k+1)). The subtree slices alias dsts.
+func TreeFanout(dsts []int) (children []int, subtrees [][]int) {
+	n := len(dsts) + 1 // participants: the sender plus every destination
+	for step := 1; step < n; step <<= 1 {
+		end := 2 * step
+		if end > n {
+			end = n
+		}
+		children = append(children, dsts[step-1])
+		subtrees = append(subtrees, dsts[step:end-1])
+	}
+	return children, subtrees
 }
 
 // Request sends the control message of the arrival-timeout protocol: it asks
@@ -311,8 +473,10 @@ func (c *Comm) Request(owner int, tag Tag) {
 
 // Resend re-sends one published tile version to a single destination in
 // answer to a Request. It counts as a tile message (the wire really carries
-// the tile again) and additionally as a redelivery, so measurements can
-// recover the fault-free volume as Messages − Redeliveries.
+// the tile again), a wire hop, and additionally as a redelivery, so
+// measurements can recover the fault-free volume as Messages − Redeliveries.
+// Redeliveries are always direct, even under tree broadcast: the healing
+// path must not depend on relays that may themselves be faulty.
 func (c *Comm) Resend(dst int, tag Tag, payload *tile.Tile) {
 	if dst == c.rank {
 		panic("cluster: self-send; local data must not go through the network")
@@ -323,8 +487,9 @@ func (c *Comm) Resend(dst int, tag Tag, payload *tile.Tile) {
 	sh.refs.Store(1)
 	idx := c.rank*cl.p + dst
 	cl.messages[idx].Add(1)
+	cl.hops[idx].Add(1)
 	cl.redeliveries[idx].Add(1)
-	cl.bytes[idx].Add(int64(payload.Bytes()))
+	cl.bytes[idx].Add(int64(cp.Bytes()))
 	cl.dispatch(Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: time.Now(), shared: sh})
 }
 
@@ -343,16 +508,24 @@ func (c *Comm) Recv() (Message, bool) {
 }
 
 // Stats is a snapshot of the traffic counters. Messages counts every tile
-// payload sent, including redeliveries of the arrival-timeout protocol;
-// Redeliveries counts just those re-sends, so Messages − Redeliveries is the
-// primary (fault-free-equivalent) volume Equations (1)/(2) predict. Requests
+// payload sent in the logical (owner→consumer) view, including redeliveries
+// of the arrival-timeout protocol; Redeliveries counts just those re-sends,
+// so Messages − Redeliveries is the primary (fault-free-equivalent) volume
+// Equations (1)/(2) predict — in both broadcast modes. Hops counts the
+// physical transmissions per link and Forwards the subset sent by tree
+// relays: under BroadcastFlat, Hops equals Messages and Forwards is zero;
+// under BroadcastTree each wire hop still serves exactly one logical
+// delivery, so TotalHops = TotalMessages on a faithful network, with the
+// owner's share of the hops shrunk to ⌈log₂(k+1)⌉ per broadcast. Requests
 // counts the payload-free control messages; MailboxPeak is each node's
 // inbound queue high-water mark — the backpressure an unbounded mailbox
 // would otherwise hide.
 type Stats struct {
 	P            int
-	Messages     [][]int64 // [src][dst]
+	Messages     [][]int64 // [src][dst], logical owner→consumer
 	Bytes        [][]int64
+	Hops         [][]int64 // [src][dst], physical wire transmissions
+	Forwards     [][]int64 // [src][dst], tree relay hops (subset of Hops)
 	Requests     [][]int64
 	Redeliveries [][]int64
 	MailboxPeak  []int
@@ -364,6 +537,8 @@ func (c *Cluster) Stats() Stats {
 		P:            c.p,
 		Messages:     make([][]int64, c.p),
 		Bytes:        make([][]int64, c.p),
+		Hops:         make([][]int64, c.p),
+		Forwards:     make([][]int64, c.p),
 		Requests:     make([][]int64, c.p),
 		Redeliveries: make([][]int64, c.p),
 		MailboxPeak:  make([]int, c.p),
@@ -371,12 +546,16 @@ func (c *Cluster) Stats() Stats {
 	for i := 0; i < c.p; i++ {
 		s.Messages[i] = make([]int64, c.p)
 		s.Bytes[i] = make([]int64, c.p)
+		s.Hops[i] = make([]int64, c.p)
+		s.Forwards[i] = make([]int64, c.p)
 		s.Requests[i] = make([]int64, c.p)
 		s.Redeliveries[i] = make([]int64, c.p)
 		s.MailboxPeak[i] = c.inboxes[i].highWater()
 		for j := 0; j < c.p; j++ {
 			s.Messages[i][j] = c.messages[i*c.p+j].Load()
 			s.Bytes[i][j] = c.bytes[i*c.p+j].Load()
+			s.Hops[i][j] = c.hops[i*c.p+j].Load()
+			s.Forwards[i][j] = c.forwards[i*c.p+j].Load()
 			s.Requests[i][j] = c.requests[i*c.p+j].Load()
 			s.Redeliveries[i][j] = c.redeliveries[i*c.p+j].Load()
 		}
@@ -428,10 +607,44 @@ func (s Stats) TotalRedeliveries() int64 {
 	return t
 }
 
-// SentByNode returns the number of messages sent by each node.
+// TotalHops returns the total number of physical wire transmissions.
+func (s Stats) TotalHops() int64 {
+	var t int64
+	for _, row := range s.Hops {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// TotalForwards returns the total number of tree relay hops.
+func (s Stats) TotalForwards() int64 {
+	var t int64
+	for _, row := range s.Forwards {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// SentByNode returns the number of logical messages sent by each node.
 func (s Stats) SentByNode() []int64 {
 	out := make([]int64, s.P)
 	for i, row := range s.Messages {
+		for _, v := range row {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// HopsByNode returns the number of wire transmissions each node's outgoing
+// NIC serialized — the quantity tree broadcast shrinks at the roots.
+func (s Stats) HopsByNode() []int64 {
+	out := make([]int64, s.P)
+	for i, row := range s.Hops {
 		for _, v := range row {
 			out[i] += v
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"anybc/internal/chaos"
+	"anybc/internal/cluster"
 	"anybc/internal/dag"
 	"anybc/internal/dist"
 	"anybc/internal/matrix"
@@ -150,12 +151,69 @@ func chaosSeeds(t *testing.T) []int64 {
 	return seeds
 }
 
+// checkConservation asserts the message-conservation invariant tying the
+// logical ledger (Messages: one owner→consumer delivery obligation each,
+// plus counted redeliveries) to the wire ledger (Hops: physical link
+// transmissions, of which Forwards are tree relays):
+//
+//   - Every hop serves at most one logical delivery, so TotalHops never
+//     exceeds TotalMessages, with equality on a drop-free network (flat and
+//     tree alike — the tree redistributes who transmits, not how much).
+//   - Hops decompose into owner sends + forwards + redeliveries, so the
+//     relayed and redelivered parts together never exceed the total.
+//   - Under permanent drops the shortfall TotalMessages − TotalHops is
+//     bounded by the arrivals the re-request protocol recovered: a lost
+//     interior forward strands a subtree of s consumers whose s recoveries
+//     replace the s−1 relay hops that never happened.
+func checkConservation(t *testing.T, label string, rep *Report, plan *chaos.Plan) {
+	t.Helper()
+	s := rep.Stats
+	hops, msgs := s.TotalHops(), s.TotalMessages()
+	if hops > msgs {
+		t.Errorf("%s: conservation violated: %d wire hops > %d logical messages", label, hops, msgs)
+	}
+	if s.TotalForwards()+s.TotalRedeliveries() > hops {
+		t.Errorf("%s: forwards %d + redeliveries %d exceed total hops %d",
+			label, s.TotalForwards(), s.TotalRedeliveries(), hops)
+	}
+	drops := 0
+	if plan != nil {
+		counts := plan.Counts()
+		drops = counts["drop"] + counts["drop-redeliver"]
+	}
+	if drops == 0 && hops != msgs {
+		t.Errorf("%s: drop-free run must conserve hops: %d hops != %d messages", label, hops, msgs)
+	}
+	recovered := 0
+	for _, rs := range rep.Resilience {
+		recovered += rs.Recovered
+	}
+	if shortfall := msgs - hops; shortfall > int64(recovered) {
+		t.Errorf("%s: hop shortfall %d exceeds the %d recovered arrivals that could explain it",
+			label, shortfall, recovered)
+	}
+	forwarded := 0
+	for _, f := range rep.ForwardedPerNode {
+		forwarded += f
+	}
+	if int64(forwarded) != s.TotalForwards() {
+		t.Errorf("%s: engines forwarded %d hops but the wire counted %d",
+			label, forwarded, s.TotalForwards())
+	}
+}
+
+// broadcastModes enumerates the transports every chaos regression runs
+// under: the paper's flat fan-out and the binomial tree (whose relay hops
+// must heal through the same Request/Resend protocol).
+var broadcastModes = []cluster.BroadcastMode{cluster.BroadcastFlat, cluster.BroadcastTree}
+
 // TestChaosRegressionG2DBC23 runs both factorizations at the paper's
 // flagship 23-node G-2DBC distribution under the full fault mix (including
 // permanent drops, healed by re-requests) and asserts that chaos changes
-// nothing observable: final tiles byte-identical to the fault-free run, and
-// the per-pair message counters still satisfy the Equations (1)/(2)
-// accounting once counted redeliveries are subtracted.
+// nothing observable: final tiles byte-identical to the fault-free run, the
+// per-pair message counters still satisfy the Equations (1)/(2) accounting
+// once counted redeliveries are subtracted, and the wire-hop ledger obeys
+// the conservation invariant — in both broadcast modes.
 func TestChaosRegressionG2DBC23(t *testing.T) {
 	const mt, b = 12, 4
 	d := dist.NewG2DBC(23)
@@ -192,17 +250,21 @@ func TestChaosRegressionG2DBC23(t *testing.T) {
 			t.Fatal(err)
 		}
 		pred := d.Pattern().CommVolumeLU(mt)
-		for _, seed := range chaosSeeds(t) {
-			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-				opt, plan, rec := chaosOpts(t, chaos.DefaultConfig(seed), 100*time.Millisecond, 2)
-				dumpChaosArtifacts(t, fmt.Sprintf("lu-seed%d", seed), rec, plan)
-				fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 31), opt)
-				if err != nil {
-					t.Fatal(err)
-				}
-				identicalLU(t, "chaos run", base, fact, mt)
-				checkCounters(t, "LU", baseRep, rep, pred)
-			})
+		for _, mode := range broadcastModes {
+			for _, seed := range chaosSeeds(t) {
+				t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+					opt, plan, rec := chaosOpts(t, chaos.DefaultConfig(seed), 100*time.Millisecond, 2)
+					opt.Broadcast = mode
+					dumpChaosArtifacts(t, fmt.Sprintf("lu-%s-seed%d", mode, seed), rec, plan)
+					fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 31), opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					identicalLU(t, "chaos run", base, fact, mt)
+					checkCounters(t, "LU", baseRep, rep, pred)
+					checkConservation(t, "LU", rep, plan)
+				})
+			}
 		}
 	})
 
@@ -212,17 +274,21 @@ func TestChaosRegressionG2DBC23(t *testing.T) {
 			t.Fatal(err)
 		}
 		pred := d.Pattern().CommVolumeCholesky(mt)
-		for _, seed := range chaosSeeds(t) {
-			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-				opt, plan, rec := chaosOpts(t, chaos.DefaultConfig(seed), 100*time.Millisecond, 2)
-				dumpChaosArtifacts(t, fmt.Sprintf("cholesky-seed%d", seed), rec, plan)
-				fact, rep, err := FactorCholesky(mt, b, d, GenSPD(mt, b, 32), opt)
-				if err != nil {
-					t.Fatal(err)
-				}
-				identicalCholesky(t, "chaos run", base, fact, mt)
-				checkCounters(t, "Cholesky", baseRep, rep, pred)
-			})
+		for _, mode := range broadcastModes {
+			for _, seed := range chaosSeeds(t) {
+				t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+					opt, plan, rec := chaosOpts(t, chaos.DefaultConfig(seed), 100*time.Millisecond, 2)
+					opt.Broadcast = mode
+					dumpChaosArtifacts(t, fmt.Sprintf("cholesky-%s-seed%d", mode, seed), rec, plan)
+					fact, rep, err := FactorCholesky(mt, b, d, GenSPD(mt, b, 32), opt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					identicalCholesky(t, "chaos run", base, fact, mt)
+					checkCounters(t, "Cholesky", baseRep, rep, pred)
+					checkConservation(t, "Cholesky", rep, plan)
+				})
+			}
 		}
 	})
 }
@@ -230,7 +296,10 @@ func TestChaosRegressionG2DBC23(t *testing.T) {
 // TestChaosDropHealsViaReRequest proves the acceptance criterion for the
 // healing path: under permanent drops with NO transport redelivery, the only
 // way the run can complete is the arrival-timeout re-request protocol — and
-// it must complete, correctly, with the report counting what healed.
+// it must complete, correctly, with the report counting what healed. The
+// tree-mode variant is the sharper claim: a dropped interior forward
+// strands a whole subtree, and every stranded consumer must still heal by
+// re-requesting the version from its original owner (never from the relay).
 func TestChaosDropHealsViaReRequest(t *testing.T) {
 	const mt, b = 6, 4
 	d := dist.NewTwoDBC(2, 2)
@@ -239,44 +308,50 @@ func TestChaosDropHealsViaReRequest(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	opt, plan, rec := chaosOpts(t, chaos.Config{Seed: 77, PDrop: 0.25},
-		30*time.Millisecond, 1)
-	dumpChaosArtifacts(t, "drop-heal", rec, plan)
-	err = runWithDeadline(t, func() error {
-		fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 21), opt)
-		if err != nil {
-			return err
-		}
-		identicalLU(t, "healed run", base, fact, mt)
+	for _, mode := range broadcastModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			opt, plan, rec := chaosOpts(t, chaos.Config{Seed: 77, PDrop: 0.25},
+				30*time.Millisecond, 1)
+			opt.Broadcast = mode
+			dumpChaosArtifacts(t, "drop-heal-"+mode.String(), rec, plan)
+			err = runWithDeadline(t, func() error {
+				fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 21), opt)
+				if err != nil {
+					return err
+				}
+				identicalLU(t, "healed run", base, fact, mt)
 
-		if plan.Counts()["drop"] == 0 {
-			t.Error("seed 77 dropped nothing; the healing path was not exercised")
-		}
-		reReq, recovered, redelivered := 0, 0, 0
-		for _, rs := range rep.Resilience {
-			reReq += rs.ReRequests
-			recovered += rs.Recovered
-			redelivered += rs.Redelivered
-		}
-		if reReq == 0 || recovered == 0 || redelivered == 0 {
-			t.Errorf("healing not accounted: re-requests=%d recovered=%d redelivered=%d",
-				reReq, recovered, redelivered)
-		}
-		if rep.Stats.TotalRequests() == 0 || rep.Stats.TotalRedeliveries() == 0 {
-			t.Errorf("cluster counters missed the healing: requests=%d redeliveries=%d",
-				rep.Stats.TotalRequests(), rep.Stats.TotalRedeliveries())
-		}
-		peaked := false
-		for _, peak := range rep.MailboxPeakPerNode {
-			peaked = peaked || peak > 0
-		}
-		if len(rep.MailboxPeakPerNode) != d.Nodes() || !peaked {
-			t.Errorf("mailbox high-water marks missing: %v", rep.MailboxPeakPerNode)
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatalf("drop-heal run failed: %v", err)
+				if plan.Counts()["drop"] == 0 {
+					t.Error("seed 77 dropped nothing; the healing path was not exercised")
+				}
+				reReq, recovered, redelivered := 0, 0, 0
+				for _, rs := range rep.Resilience {
+					reReq += rs.ReRequests
+					recovered += rs.Recovered
+					redelivered += rs.Redelivered
+				}
+				if reReq == 0 || recovered == 0 || redelivered == 0 {
+					t.Errorf("healing not accounted: re-requests=%d recovered=%d redelivered=%d",
+						reReq, recovered, redelivered)
+				}
+				if rep.Stats.TotalRequests() == 0 || rep.Stats.TotalRedeliveries() == 0 {
+					t.Errorf("cluster counters missed the healing: requests=%d redeliveries=%d",
+						rep.Stats.TotalRequests(), rep.Stats.TotalRedeliveries())
+				}
+				checkConservation(t, "drop-heal", rep, plan)
+				peaked := false
+				for _, peak := range rep.MailboxPeakPerNode {
+					peaked = peaked || peak > 0
+				}
+				if len(rep.MailboxPeakPerNode) != d.Nodes() || !peaked {
+					t.Errorf("mailbox high-water marks missing: %v", rep.MailboxPeakPerNode)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("drop-heal run failed: %v", err)
+			}
+		})
 	}
 }
 

@@ -133,6 +133,13 @@ type Options struct {
 	// forces it off even under chaos — useful only to demonstrate that a
 	// dropped message then hangs the run.
 	ArrivalTimeout time.Duration
+	// Broadcast selects the transport for published tiles:
+	// cluster.BroadcastFlat (default, the paper's point-to-point model) or
+	// cluster.BroadcastTree, which relays each broadcast down a binomial
+	// tree so the owner's NIC serializes ⌈log₂(k+1)⌉ sends instead of k.
+	// Final factors are bit-identical across modes; only the wire routing
+	// (Report.Stats.Hops/Forwards) changes.
+	Broadcast cluster.BroadcastMode
 }
 
 // Report summarizes one distributed execution.
@@ -166,6 +173,12 @@ type Report struct {
 	// the arrival-timeout re-request protocol was armed (Options.Chaos or
 	// Options.ArrivalTimeout).
 	Resilience []ResilienceStats
+	// Broadcast is the transport mode the run used (flat fan-out or
+	// binomial tree); the wire-level consequences are in Stats.Hops and
+	// Stats.Forwards, and ForwardedPerNode counts the relay hops each node
+	// sent on behalf of other owners' broadcasts. All zero under flat mode.
+	Broadcast        cluster.BroadcastMode
+	ForwardedPerNode []int
 	// Elapsed is the wall-clock duration of the distributed run.
 	Elapsed time.Duration
 }
@@ -242,7 +255,7 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 	if opt.ArrivalTimeout < 0 {
 		opt.ArrivalTimeout = 0
 	}
-	cl := cluster.NewWithNetwork(P, net)
+	cl := cluster.NewWithOptions(P, cluster.Options{Net: net, Broadcast: opt.Broadcast})
 
 	start := time.Now()
 	if opt.Chaos != nil && opt.Recorder != nil {
@@ -306,6 +319,8 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		OwnedTilesPerNode:    make([]int, P),
 		ReceivedTilesPerNode: make([]int, P),
 		PeakTilesPerNode:     make([]int, P),
+		Broadcast:            opt.Broadcast,
+		ForwardedPerNode:     make([]int, P),
 		Elapsed:              elapsed,
 	}
 	rep.MailboxPeakPerNode = rep.Stats.MailboxPeak
@@ -338,6 +353,7 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 			Redelivered: int(e.redelivered.Load()),
 			Recovered:   e.recovered,
 		}
+		rep.ForwardedPerNode[rank] = e.forwarded + int(e.forwardedLate.Load())
 	}
 
 	if collect != nil {
@@ -411,6 +427,12 @@ type engine struct {
 	ownedTiles int
 	recvTotal  int
 	peakTiles  int
+	// forwarded counts the tree-broadcast hops this node relayed onward
+	// (Comm.Forward calls happen in the event loop; the post-loop absorber
+	// adds its own under forwardedLate, which is atomic because the report
+	// may be read while the absorber still drains).
+	forwarded     int
+	forwardedLate atomic.Int64
 
 	// disp fans dispatched jobs out to the worker goroutines through
 	// per-worker deques with stealing; busy accumulates per-slot kernel
@@ -783,6 +805,19 @@ func (e *engine) run() error {
 				e.answerRequest(ev.msg, false)
 				continue
 			}
+			// A tree-broadcast hop that lands after our event loop finished
+			// still carries its subtree's deliveries: relay it (once — the
+			// seen map, now touched only by this goroutine, drops duplicate
+			// re-deliveries) before releasing our own share, so a fast
+			// consumer never strands the slow subtree behind it.
+			if !crashed && len(ev.msg.Forward) > 0 {
+				if e.seen == nil || !e.seen[ev.msg.Tag] {
+					if e.seen != nil {
+						e.seen[ev.msg.Tag] = true
+					}
+					e.forwardedLate.Add(int64(e.comm.Forward(ev.msg)))
+				}
+			}
 			ev.msg.Release()
 		}
 	}()
@@ -965,6 +1000,14 @@ func (e *engine) onArrival(msg cluster.Message) error {
 			return nil
 		}
 		e.seen[msg.Tag] = true
+	}
+	// First delivery of this tag: honor its tree-broadcast relay obligation
+	// before anything else, so the subtree's arrivals pipeline behind ours
+	// instead of behind our kernel work. Duplicates never reach this point —
+	// the recv/seen dedup above dropped them — so one broadcast relays each
+	// subtree exactly once no matter how a faulty network re-delivers.
+	if len(msg.Forward) > 0 {
+		e.forwarded += e.comm.Forward(msg)
 	}
 	if e.pending != nil {
 		if p, ok := e.pending[msg.Tag]; ok {

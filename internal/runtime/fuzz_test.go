@@ -215,7 +215,12 @@ func driveEngine(t *testing.T, sc protoScenario, rank int, data []byte) {
 
 	// Deliveries travel through a real Comm so payloads are pooled clones
 	// with live refcounts; a high bit in the fuzz input duplicates that
-	// delivery (sharing the refcount, like a faulty transport would).
+	// delivery (sharing the refcount, like a faulty transport would), and
+	// the 0x40 bit duplicates it and then drops one copy the way a faulty
+	// network does — Release without delivery — in a fuzz-chosen order
+	// relative to the real delivery. A broadcast buffer must survive every
+	// interleaving with its refcount balanced (the chaos × shared-payload
+	// property: duplicated-then-dropped never double-Releases into the pool).
 	sender := cl.Comm((rank + 1) % sc.d.Nodes())
 	for k, tag := range tags {
 		pay := snaps[tag]
@@ -227,12 +232,24 @@ func driveEngine(t *testing.T, sc protoScenario, rank int, data []byte) {
 		if !ok {
 			t.Fatal("mailbox closed mid-test")
 		}
-		if byteAt(data, len(tags)+k)&0x80 != 0 {
+		ctl := byteAt(data, len(tags)+k)
+		switch {
+		case ctl&0x40 != 0:
+			dup := msg.Dup()
+			if ctl&0x20 != 0 {
+				dup.Release() // network drops the duplicate before delivery
+				feed(msg)
+			} else {
+				feed(msg)
+				pump()
+				dup.Release() // ... or after the original was consumed
+			}
+		case ctl&0x80 != 0:
 			dup := msg.Dup()
 			feed(msg)
 			pump()
 			feed(dup)
-		} else {
+		default:
 			feed(msg)
 		}
 		pump()
@@ -265,6 +282,8 @@ func driveEngine(t *testing.T, sc protoScenario, rank int, data []byte) {
 func FuzzVersionProtocol(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x80})
+	f.Add([]byte{0x40})
+	f.Add([]byte{0x60, 0x40, 0x80, 0x60})
 	f.Add([]byte{0x01, 0x80, 0x7f, 0xff, 0x03})
 	f.Add([]byte("reorder and duplicate everything, please"))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})

@@ -11,13 +11,15 @@ const (
 // event is one scheduled simulator event. For evTaskDone, node is the
 // executing node and task the completing task id. For evArrival, node is the
 // destination and task the producing task id (the arrival delivers that
-// task's output tile).
+// task's output tile); forward, when non-empty, is the binomial subtree of
+// nodes the recipient must relay the tile to (tree-broadcast mode).
 type event struct {
-	time float64
-	seq  uint64 // tie-break for determinism
-	kind eventKind
-	node int32
-	task int32
+	time    float64
+	seq     uint64 // tie-break for determinism
+	kind    eventKind
+	node    int32
+	task    int32
+	forward []int
 }
 
 // eventHeap is a binary min-heap on (time, seq).

@@ -78,9 +78,18 @@ type Result struct {
 	Makespan float64
 	// TotalFlops is the factorization's arithmetic work.
 	TotalFlops float64
-	// Messages and Bytes count the point-to-point tile transfers.
+	// Messages and Bytes count the logical owner→consumer tile transfers —
+	// one per (tile, remote consumer node), the paper's Eq (1)/(2) quantity,
+	// independent of the broadcast mode.
 	Messages int64
 	Bytes    int64
+	// Hops counts physical link transmissions. Flat mode: Hops == Messages.
+	// Tree mode: still Hops == Messages in total, but ownership shifts — the
+	// root transmits only ⌈log₂(k+1)⌉ of each broadcast's k hops and
+	// recipients relay the rest (counted in Forwards ⊆ Hops).
+	Hops int64
+	// Forwards is the subset of Hops relayed by a non-owner recipient.
+	Forwards int64
 	// BusyTime[n] is the total kernel-execution time on node n, across all
 	// its workers.
 	BusyTime []float64

@@ -3,6 +3,7 @@ package simulate
 import (
 	"fmt"
 
+	"anybc/internal/cluster"
 	"anybc/internal/dag"
 	"anybc/internal/dist"
 	"anybc/internal/sched"
@@ -44,6 +45,15 @@ type Options struct {
 	// positive), modeling heterogeneous nodes: node n executes kernels at
 	// NodeSpeed[n] × FlopsPerWorker per worker. Nil means homogeneous.
 	NodeSpeed []float64
+	// Broadcast selects the transport model for one tile consumed by k
+	// remote nodes: cluster.BroadcastFlat (default) serializes k sends on
+	// the owner's NIC, the paper's point-to-point model; cluster.
+	// BroadcastTree uses the same binomial tree as the real runtime — the
+	// owner transmits ⌈log₂(k+1)⌉ hops and recipients relay onward as their
+	// copies arrive, so the broadcast pipelines across the recipients' NICs.
+	// Logical counters (Result.Messages/Bytes) are mode-independent; the
+	// wire view is Result.Hops/Forwards and the per-node Sent/RecvBytes.
+	Broadcast cluster.BroadcastMode
 }
 
 // Run simulates the execution of graph g with tile size b under distribution
@@ -169,8 +179,38 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 		dispatch(node, 0)
 	}
 
+	// sendHop models one physical transmission src→dst: sender NIC
+	// serialization, then latency, then receiver NIC, with the optional
+	// shared-fabric cap in between. forward is the binomial subtree the
+	// recipient must relay onward when the hop arrives (tree mode only).
+	// task identifies the producer whose output tile the hop carries.
+	sendHop := func(src, dst int, task int32, forward []int, msgBytes int, now float64) {
+		transferTime := float64(msgBytes) / m.LinkBandwidth
+		depart := max64(now, nicOut[src])
+		sendEnd := depart + transferTime
+		nicOut[src] = sendEnd
+		if m.BisectionBandwidth > 0 {
+			// The message also crosses the shared fabric.
+			fabricEnd := max64(sendEnd, fabricFree) + float64(msgBytes)/m.BisectionBandwidth
+			fabricFree = fabricEnd
+			sendEnd = fabricEnd
+		}
+		recvEnd := max64(sendEnd+m.Latency, nicIn[dst]) + transferTime
+		nicIn[dst] = recvEnd
+		result.Hops++
+		result.SentBytes[src] += int64(msgBytes)
+		result.RecvBytes[dst] += int64(msgBytes)
+		if opt.Recorder != nil {
+			// depart is the instant the message starts leaving the
+			// sender NIC — not sendEnd-transferTime, which the fabric
+			// serialization would shift forward.
+			opt.Recorder.RecordMessage(src, dst, depart, recvEnd, msgBytes)
+		}
+		events.push(event{time: recvEnd, kind: evArrival, node: int32(dst), task: task, forward: forward})
+	}
+
 	done := 0
-	var sentTo []int32 // scratch: distinct remote consumers of one completion
+	var sentTo []int // scratch: distinct remote consumers of one completion
 	for !events.empty() {
 		ev := events.pop()
 		now := ev.time
@@ -180,11 +220,11 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 			node := int(ev.node)
 			freeWorkers[node]++
 			t := g.TaskOf(int(ev.task))
-			src := ownerOf[ev.task]
+			src := int(ownerOf[ev.task])
 			sentTo = sentTo[:0]
 			g.Successors(t, func(s dag.Task) {
 				sid := g.ID(s)
-				dst := ownerOf[sid]
+				dst := int(ownerOf[sid])
 				if dst == src {
 					remaining[sid]--
 					if remaining[sid] == 0 {
@@ -198,41 +238,46 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 					}
 				}
 				sentTo = append(sentTo, dst)
-				// Sender NIC serialization, then latency, then receiver NIC.
-				msgBytes := sizeOf(t)
-				transferTime := float64(msgBytes) / m.LinkBandwidth
-				depart := max64(now, nicOut[src])
-				sendEnd := depart + transferTime
-				nicOut[src] = sendEnd
-				if m.BisectionBandwidth > 0 {
-					// The message also crosses the shared fabric.
-					fabricEnd := max64(sendEnd, fabricFree) + float64(msgBytes)/m.BisectionBandwidth
-					fabricFree = fabricEnd
-					sendEnd = fabricEnd
-				}
-				recvEnd := max64(sendEnd+m.Latency, nicIn[dst]) + transferTime
-				nicIn[dst] = recvEnd
-				result.Messages++
-				result.Bytes += int64(msgBytes)
-				result.SentBytes[src] += int64(msgBytes)
-				result.RecvBytes[dst] += int64(msgBytes)
-				if opt.Recorder != nil {
-					// depart is the instant the message starts leaving the
-					// sender NIC — not sendEnd-transferTime, which the fabric
-					// serialization would shift forward.
-					opt.Recorder.RecordMessage(int(src), int(dst), depart, recvEnd, msgBytes)
-				}
-				events.push(event{time: recvEnd, kind: evArrival, node: dst, task: ev.task})
 			})
+			if len(sentTo) > 0 {
+				// Logical accounting is mode-independent: one owner→consumer
+				// message per destination, the Equation (1)/(2) quantity.
+				msgBytes := sizeOf(t)
+				result.Messages += int64(len(sentTo))
+				result.Bytes += int64(msgBytes) * int64(len(sentTo))
+				if opt.Broadcast == cluster.BroadcastTree && len(sentTo) > 1 {
+					children, subtrees := cluster.TreeFanout(sentTo)
+					for i, child := range children {
+						// Subtrees alias the sentTo scratch, which the next
+						// completion reuses — copy each hop's relay list.
+						sendHop(src, child, ev.task, append([]int(nil), subtrees[i]...), msgBytes, now)
+					}
+				} else {
+					for _, dst := range sentTo {
+						sendHop(src, dst, ev.task, nil, msgBytes, now)
+					}
+				}
+			}
 			dispatch(node, now)
 		case evArrival:
+			// A tree hop carries its subtree's relay obligation: the
+			// recipient's NIC starts forwarding the moment the tile lands,
+			// pipelining the rest of the broadcast behind this hop.
+			if len(ev.forward) > 0 {
+				msgBytes := sizeOf(g.TaskOf(int(ev.task)))
+				children, subtrees := cluster.TreeFanout(ev.forward)
+				for i, child := range children {
+					result.Forwards++
+					sendHop(int(ev.node), child, ev.task, subtrees[i], msgBytes, now)
+				}
+			}
 			// The arrival delivers the output tile of producer ev.task to
 			// node ev.node: every successor of the producer owned by that
 			// node had this tile as its one remote dependency from ev.task.
 			producer := g.TaskOf(int(ev.task))
 			g.Successors(producer, func(s dag.Task) {
 				sid := g.ID(s)
-				if ownerOf[sid] != ev.node {
+				if int(ownerOf[sid]) != int(ev.node) {
 					return
 				}
 				remaining[sid]--
