@@ -60,6 +60,8 @@ func main() {
 		work   = flag.Int("workers", 2, "gantt -real mode: worker goroutines per node")
 		cseed  = flag.Int64("chaos-seed", -1, "gantt -real mode: inject the deterministic fault plan of this seed (-1 disables)")
 		tree   = flag.Bool("tree", false, "gantt mode: binomial-tree broadcast transport instead of flat fan-out")
+		elast  = flag.Bool("elastic", false, "gantt -real mode: survive node deaths by migrating their tasks to survivors")
+		crash  = flag.String("crash", "", "gantt -real mode: kill one node mid-run, as rank@task (0-based owned-task index)")
 	)
 	flag.Parse()
 
@@ -70,7 +72,7 @@ func main() {
 		}
 		var err error
 		if *real {
-			err = runGanttReal(*gantt, *p, *n, *tb, *work, *scheme, *kernel, *cseed, bc)
+			err = runGanttReal(*gantt, *p, *n, *tb, *work, *scheme, *kernel, *cseed, bc, *elast, *crash)
 		} else {
 			err = runGantt(*gantt, *p, *n, *scheme, *kernel, bc)
 		}
@@ -172,10 +174,25 @@ func runGantt(prefix string, p, n int, scheme, kernel string, bc cluster.Broadca
 	return nil
 }
 
+// parseCrash decodes a -crash rank@task directive into a chaos crash map.
+func parseCrash(spec string, p int) (map[int]int, error) {
+	var rank, task int
+	if _, err := fmt.Sscanf(spec, "%d@%d", &rank, &task); err != nil {
+		return nil, fmt.Errorf("crash spec %q: want rank@task, e.g. 5@10", spec)
+	}
+	if rank < 0 || rank >= p {
+		return nil, fmt.Errorf("crash spec %q: rank %d outside [0,%d)", spec, rank, p)
+	}
+	if task < 0 {
+		return nil, fmt.Errorf("crash spec %q: negative task index", spec)
+	}
+	return map[int]int{rank: task}, nil
+}
+
 // runGanttReal executes one real (numeric) factorization on the virtual
 // cluster with wall-clock tracing and writes the same CSV pair as the
 // simulated mode, plus working-set statistics from the release path.
-func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, chaosSeed int64, bc cluster.BroadcastMode) error {
+func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, chaosSeed int64, bc cluster.BroadcastMode, elastic bool, crash string) error {
 	mt := n / b
 	if mt < 2 {
 		return fmt.Errorf("matrix size %d below two %d-element tiles", n, b)
@@ -187,10 +204,24 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 		return err
 	}
 	rec := &trace.Recorder{}
-	opt := runtime.Options{Workers: workers, Recorder: rec, Broadcast: bc}
+	opt := runtime.Options{Workers: workers, Recorder: rec, Broadcast: bc, Elastic: elastic}
 	var plan *chaos.Plan
-	if chaosSeed >= 0 {
-		if plan, err = chaos.New(chaos.DefaultConfig(chaosSeed)); err != nil {
+	var cfg chaos.Config
+	haveChaos := chaosSeed >= 0
+	if haveChaos {
+		cfg = chaos.DefaultConfig(chaosSeed)
+	}
+	if crash != "" {
+		// A crash directive without -chaos-seed gets a fault-free plan that
+		// only injects the crash itself.
+		cfg.CrashAtTask, err = parseCrash(crash, d.Nodes())
+		if err != nil {
+			return err
+		}
+		haveChaos = true
+	}
+	if haveChaos {
+		if plan, err = chaos.New(cfg); err != nil {
 			return err
 		}
 		opt.Chaos = plan
@@ -280,7 +311,11 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 	fmt.Println()
 	fmt.Printf("kernel time breakdown: %v\n", rec.KindBreakdown())
 	if plan != nil {
-		fmt.Printf("chaos seed %d injected faults: %v\n", chaosSeed, plan.Counts())
+		if chaosSeed >= 0 {
+			fmt.Printf("chaos seed %d injected faults: %v\n", chaosSeed, plan.Counts())
+		} else {
+			fmt.Printf("injected faults: %v\n", plan.Counts())
+		}
 		reReq, redelivered, recovered := 0, 0, 0
 		for _, rs := range rep.Resilience {
 			reReq += rs.ReRequests
@@ -289,6 +324,15 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 		}
 		fmt.Printf("healing: %d re-requests, %d redeliveries served, %d arrivals recovered\n",
 			reReq, redelivered, recovered)
+		for node, rs := range rep.Resilience {
+			if rs.Died {
+				fmt.Printf("node %d died mid-run\n", node)
+			}
+			if rs.Adopted > 0 || rs.Speculative > 0 {
+				fmt.Printf("node %d migration: adopted %d tasks, speculatively replayed %d\n",
+					node, rs.Adopted, rs.Speculative)
+			}
+		}
 		f, err := os.Create(prefix + "-faults.csv")
 		if err != nil {
 			return err

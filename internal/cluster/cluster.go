@@ -66,15 +66,36 @@ type Tag struct {
 // A message with Req set carries no payload: it is a control message asking
 // the destination (the owner of the tagged tile) to re-send the published
 // version Tag, the healing half of the runtime's arrival-timeout protocol.
+//
+// A message with a non-zero Note is a membership notice (no payload, no tag):
+// NoteDown announces that NoteRank has died, NoteDone that NoteRank finished
+// its share of the run. Notes travel out-of-band — see Comm.Notify.
 type Message struct {
 	From, To int
 	Tag      Tag
 	Payload  *tile.Tile
 	SentAt   time.Time
-	Req      bool  // version re-request control message (Payload is nil)
-	Forward  []int // tree broadcast: destinations this recipient relays to
+	Req      bool           // version re-request control message (Payload is nil)
+	Note     NoteKind       // membership notice (Payload is nil); zero for data/requests
+	NoteRank int            // subject rank of a Note (the dead or finished node)
+	Forward  []int          // tree broadcast: destinations this recipient relays to
 	shared   *sharedPayload // nil for hand-built messages (tests)
 }
+
+// NoteKind classifies membership notices.
+type NoteKind uint8
+
+const (
+	// NoteNone marks an ordinary data or request message.
+	NoteNone NoteKind = iota
+	// NoteDown announces that NoteRank has crashed: it will execute no more
+	// tasks, publish no more tiles, and answer no more re-requests. Sent by
+	// the dying node itself or gossiped by a peer that presumed it dead.
+	NoteDown
+	// NoteDone announces that NoteRank has completed every task it owns (or
+	// has adopted): the completion barrier of elastic runs.
+	NoteDone
+)
 
 // sharedPayload reference-counts one broadcast payload across its
 // recipients.
@@ -469,6 +490,28 @@ func (c *Comm) Request(owner int, tag Tag) {
 	cl := c.cluster
 	cl.requests[c.rank*cl.p+owner].Add(1)
 	cl.dispatch(Message{From: c.rank, To: owner, Tag: tag, Req: true, SentAt: time.Now()})
+}
+
+// Notify broadcasts a membership notice about subject to every other node.
+// Notices model the out-of-band failure-detector / completion service of a
+// real cluster (MPI's runtime layer, not its data plane): they bypass the
+// fault-injection seam and go straight to the destination mailboxes, so a
+// chaotic network can delay or lose tiles but never the fact of a death —
+// the arrival-timeout escalation path covers detectors that do lose it.
+// Notices carry no payload and are excluded from every traffic counter the
+// paper's equations predict.
+func (c *Comm) Notify(kind NoteKind, subject int) {
+	if kind == NoteNone {
+		panic("cluster: Notify with NoteNone")
+	}
+	cl := c.cluster
+	now := time.Now()
+	for dst := 0; dst < cl.p; dst++ {
+		if dst == c.rank {
+			continue
+		}
+		cl.deliver(Message{From: c.rank, To: dst, Note: kind, NoteRank: subject, SentAt: now})
+	}
 }
 
 // Resend re-sends one published tile version to a single destination in

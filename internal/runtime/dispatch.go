@@ -4,14 +4,18 @@ import (
 	"sync"
 	"time"
 
+	"anybc/internal/dag"
 	"anybc/internal/tile"
 )
 
 // job is one fully-resolved kernel execution: the event loop resolves the
 // task's input tiles (from maps only it may touch) at feed time, so workers
-// never read engine state.
+// never read engine state. The task itself rides in the job (not just its
+// index) because elastic adoption appends to the engine's owned-task slice
+// mid-run — workers must not index a slice the event loop may be growing.
 type job struct {
 	idx    int
+	task   dag.Task
 	out    *tile.Tile
 	inputs []*tile.Tile
 }

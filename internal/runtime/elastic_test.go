@@ -1,0 +1,440 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"anybc/internal/chaos"
+	"anybc/internal/cluster"
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+	"anybc/internal/tile"
+)
+
+// ownedTaskCount returns how many tasks of g the distribution assigns to
+// rank, i.e. the victim's owned-task count that bounds chaos crash indices.
+func ownedTaskCount(g dag.Graph, d dist.Distribution, rank int) int {
+	n := 0
+	dag.ForEachTask(g, func(tk dag.Task) {
+		i, j := g.OutputTile(tk)
+		if d.Owner(i, j) == rank {
+			n++
+		}
+	})
+	return n
+}
+
+// checkAdoption asserts the migration is visible in the report: the victim
+// is marked dead, the expected adopter re-ran a positive number of its
+// tasks, and nobody else adopted anything (the deterministic rule must not
+// split the work).
+func checkAdoption(t *testing.T, rep *Report, victim, adopter int) {
+	t.Helper()
+	if !rep.Resilience[victim].Died {
+		t.Errorf("victim %d not reported dead", victim)
+	}
+	for rank, rs := range rep.Resilience {
+		switch {
+		case rank == adopter && rs.Adopted == 0:
+			t.Errorf("adopter %d reports no adopted tasks", adopter)
+		case rank != adopter && rs.Adopted != 0:
+			t.Errorf("node %d adopted %d tasks; only %d should adopt", rank, rs.Adopted, adopter)
+		}
+	}
+}
+
+// TestElasticCrashRecovery is the acceptance test of the elastic tentpole:
+// on the paper's flagship 23-node G-2DBC distribution, a node killed
+// mid-factorization must not abort the run — the deterministic adopter
+// (lowest alive rank under the homogeneous speed model) re-runs its tasks,
+// republishes under the original versioned tags, and the run completes with
+// factors bit-identical to a crash-free run, on both broadcast transports.
+// A light permanent-drop mix rides along so the Request/Resend healing and
+// the adoption machinery are exercised together, per pinned seed.
+func TestElasticCrashRecovery(t *testing.T) {
+	const mt, b = 12, 4
+	const victim = 5
+	d := dist.NewG2DBC(23)
+	g := dag.NewLU(mt)
+	owned := ownedTaskCount(g, d, victim)
+	if owned < 4 {
+		t.Fatalf("victim %d owns only %d tasks; crash mid-run proves nothing", victim, owned)
+	}
+	crashAt := owned / 2
+
+	base, _, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 31), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mode := range broadcastModes {
+		for _, seed := range chaosSeeds(t) {
+			t.Run(fmt.Sprintf("%s/seed=%d", mode, seed), func(t *testing.T) {
+				cfg := chaos.Config{
+					Seed:        seed,
+					PDrop:       0.05,
+					CrashAtTask: map[int]int{victim: crashAt},
+				}
+				opt, plan, rec := chaosOpts(t, cfg, 30*time.Millisecond, 1)
+				opt.Broadcast = mode
+				opt.Elastic = true
+				dumpChaosArtifacts(t, fmt.Sprintf("elastic-%s-seed%d", mode, seed), rec, plan)
+				err := runWithDeadline(t, func() error {
+					fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 31), opt)
+					if err != nil {
+						return err
+					}
+					identicalLU(t, "elastic run", base, fact, mt)
+					checkAdoption(t, rep, victim, 0)
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("elastic run failed instead of recovering: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestElasticCrashRecoveryWorkers4 repeats the crash-recovery acceptance
+// with 4 workers per node, so adoption interleaves with intra-node work
+// stealing and the worker-held job copies (jobs carry their task by value —
+// adoption appends to the owned slice mid-run) are exercised under -race.
+func TestElasticCrashRecoveryWorkers4(t *testing.T) {
+	const mt, b = 12, 4
+	const victim = 5
+	d := dist.NewG2DBC(23)
+	g := dag.NewLU(mt)
+	crashAt := ownedTaskCount(g, d, victim) / 2
+
+	base, _, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 31), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range broadcastModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := chaos.Config{Seed: 424242, CrashAtTask: map[int]int{victim: crashAt}}
+			opt, plan, rec := chaosOpts(t, cfg, 30*time.Millisecond, 4)
+			opt.Broadcast = mode
+			opt.Elastic = true
+			dumpChaosArtifacts(t, "elastic-workers4-"+mode.String(), rec, plan)
+			err := runWithDeadline(t, func() error {
+				fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 31), opt)
+				if err != nil {
+					return err
+				}
+				identicalLU(t, "elastic workers=4", base, fact, mt)
+				checkAdoption(t, rep, victim, 0)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("elastic workers=4 run failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestElasticCrashAfterPublish pins the crash-after-publish regression: with
+// several workers the victim prefetches jobs into its deques, so by the time
+// the crash fires it has already published tiles (SendAll completed) whose
+// local successors sit queued-but-unstarted and are purged with the deque —
+// tasks that are neither published nor running. The adopter must replay
+// those stranded successors from the victim's published predecessors rather
+// than deadlock waiting for versions nobody will ever produce. The late
+// crash index maximizes published-before-crash state.
+func TestElasticCrashAfterPublish(t *testing.T) {
+	const mt, b = 12, 4
+	const victim = 5
+	d := dist.NewG2DBC(23)
+	g := dag.NewLU(mt)
+	owned := ownedTaskCount(g, d, victim)
+	crashAt := 2 * owned / 3
+
+	base, _, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 31), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range chaosSeeds(t) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := chaos.Config{Seed: seed, CrashAtTask: map[int]int{victim: crashAt}}
+			opt, plan, rec := chaosOpts(t, cfg, 30*time.Millisecond, 4)
+			opt.Elastic = true
+			dumpChaosArtifacts(t, fmt.Sprintf("crash-after-publish-seed%d", seed), rec, plan)
+			err := runWithDeadline(t, func() error {
+				fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 31), opt)
+				if err != nil {
+					return err
+				}
+				identicalLU(t, "crash after publish", base, fact, mt)
+				checkAdoption(t, rep, victim, 0)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("crash-after-publish run failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestElasticCholeskyCrash extends the crash-recovery claim to the second
+// factorization: the adoption machinery is graph-agnostic, so a Cholesky
+// victim must migrate exactly like an LU one.
+func TestElasticCholeskyCrash(t *testing.T) {
+	const mt, b = 10, 4
+	const victim = 3
+	d := dist.NewG2DBC(23)
+	g := dag.NewCholesky(mt)
+	crashAt := ownedTaskCount(g, d, victim) / 2
+
+	base, _, err := FactorCholesky(mt, b, d, GenSPD(mt, b, 32), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range broadcastModes {
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := chaos.Config{Seed: 1, CrashAtTask: map[int]int{victim: crashAt}}
+			opt, plan, rec := chaosOpts(t, cfg, 30*time.Millisecond, 2)
+			opt.Broadcast = mode
+			opt.Elastic = true
+			dumpChaosArtifacts(t, "elastic-cholesky-"+mode.String(), rec, plan)
+			err := runWithDeadline(t, func() error {
+				fact, rep, err := FactorCholesky(mt, b, d, GenSPD(mt, b, 32), opt)
+				if err != nil {
+					return err
+				}
+				identicalCholesky(t, "elastic Cholesky", base, fact, mt)
+				checkAdoption(t, rep, victim, 0)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("elastic Cholesky run failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestElasticSpeedsPickFastestAdopter: with a heterogeneous speed model the
+// deterministic adopter rule must pick the fastest survivor, not the lowest
+// rank — every node evaluates hetero.Fastest on the same gossip, so exactly
+// one node adopts.
+func TestElasticSpeedsPickFastestAdopter(t *testing.T) {
+	const mt, b = 8, 4
+	const victim = 2
+	const fastest = 3
+	d := dist.NewTwoDBC(2, 2)
+	g := dag.NewLU(mt)
+	crashAt := ownedTaskCount(g, d, victim) / 2
+
+	base, _, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 33), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speeds := []float64{1, 1, 1, 2.5} // rank 3 is the designated heir
+	cfg := chaos.Config{Seed: 7, CrashAtTask: map[int]int{victim: crashAt}}
+	opt, plan, rec := chaosOpts(t, cfg, 30*time.Millisecond, 1)
+	opt.Elastic = true
+	opt.Speeds = speeds
+	dumpChaosArtifacts(t, "elastic-speeds", rec, plan)
+	err = runWithDeadline(t, func() error {
+		fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 33), opt)
+		if err != nil {
+			return err
+		}
+		identicalLU(t, "hetero adopter", base, fact, mt)
+		checkAdoption(t, rep, victim, fastest)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("hetero-adopter run failed: %v", err)
+	}
+}
+
+// TestElasticLagSpeculation drives the lagging-node path: every delivery is
+// delayed far past the arrival timeout, so consumers exhaust the small
+// LagReRequests budget and speculatively replay the laggard's producer
+// chains at demoted priority instead of idling. The originals land later and
+// must drop as idempotent duplicates — factors stay bit-identical and the
+// report counts the speculative re-executions.
+func TestElasticLagSpeculation(t *testing.T) {
+	const mt, b = 8, 4
+	d := dist.NewTwoDBC(2, 2)
+	base, _, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 34), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaos.Config{Seed: 11, PDelay: 1.0, MaxDelay: 80 * time.Millisecond}
+	opt, plan, rec := chaosOpts(t, cfg, 2*time.Millisecond, 1)
+	opt.Elastic = true
+	opt.LagReRequests = 2
+	opt.MaxReRequests = -1 // never presume a merely slow node dead here
+	dumpChaosArtifacts(t, "lag-speculation", rec, plan)
+	err = runWithDeadline(t, func() error {
+		fact, rep, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 34), opt)
+		if err != nil {
+			return err
+		}
+		identicalLU(t, "speculative run", base, fact, mt)
+		spec := 0
+		for _, rs := range rep.Resilience {
+			spec += rs.Speculative
+			if rs.Died {
+				t.Errorf("a lagging node was reported dead; speculation must not kill")
+			}
+		}
+		if spec == 0 {
+			t.Error("80ms delays against a 2ms timeout triggered no speculation")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("lag-speculation run failed: %v", err)
+	}
+}
+
+// TestReRequestBudgetExhausted pins the retry cap: a version that stays
+// undelivered through MaxReRequests re-requests must fail the run with a
+// descriptive ErrUndelivered naming the tile, its owner, and the budget —
+// not loop forever. A total blackout is not constructible through the chaos
+// seam (PDrop < 1 by design, so retries can always heal), so the test drives
+// the sweep directly: an expired pending wait whose owner never answers.
+func TestReRequestBudgetExhausted(t *testing.T) {
+	g := dag.NewLU(4)
+	d := dist.NewTwoDBC(2, 2)
+	cl := cluster.New(4)
+	defer cl.Close()
+	ver, err := prevalidate(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(1, cl.Comm(1), g, d, 3, GenDiagDominant(4, 3, 1), LUKernel,
+		Options{Workers: 1, ArrivalTimeout: time.Millisecond, MaxReRequests: 3},
+		ver, time.Now())
+
+	tag := cluster.Tag{I: 0, J: 0, V: 0} // owned by rank 0, never delivered
+	e.pending[tag] = &pendingWait{backoff: time.Millisecond}
+	var tickErr error
+	for i := 0; i < 10 && tickErr == nil; i++ {
+		e.pending[tag].deadline = time.Now().Add(-time.Second)
+		tickErr = e.onTick()
+	}
+	if tickErr == nil {
+		t.Fatal("an owner ignoring a finite retry budget did not fail the sweep")
+	}
+	if !errors.Is(tickErr, ErrUndelivered) {
+		t.Fatalf("error lost the ErrUndelivered root cause: %v", tickErr)
+	}
+	if !strings.Contains(tickErr.Error(), "after 3 re-requests") ||
+		!strings.Contains(tickErr.Error(), "from node 0") ||
+		!strings.Contains(tickErr.Error(), "tile (0,0) v0") {
+		t.Fatalf("error does not name the budget, owner, and tile: %v", tickErr)
+	}
+	if e.reRequests != 3 {
+		t.Fatalf("sent %d re-requests before giving up, want exactly the budget of 3", e.reRequests)
+	}
+}
+
+// TestReRequestBudgetEscalatesWhenElastic is the elastic half of the retry
+// cap: the same exhausted budget must not error but presume the silent owner
+// dead, pick the deterministic adopter (lowest alive rank — here, us), and
+// migrate its tasks so the awaited version gets produced locally.
+func TestReRequestBudgetEscalatesWhenElastic(t *testing.T) {
+	g := dag.NewLU(4)
+	d := dist.NewTwoDBC(2, 2)
+	cl := cluster.New(4)
+	defer cl.Close()
+	ver, err := prevalidate(g, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(1, cl.Comm(1), g, d, 3, GenDiagDominant(4, 3, 1), LUKernel,
+		Options{Workers: 1, ArrivalTimeout: time.Millisecond, MaxReRequests: 2, Elastic: true},
+		ver, time.Now())
+
+	tag := cluster.Tag{I: 0, J: 0, V: 0} // owned by rank 0
+	e.pending[tag] = &pendingWait{backoff: time.Millisecond}
+	for i := 0; i < 5; i++ {
+		e.pending[tag].deadline = time.Now().Add(-time.Second)
+		if err := e.onTick(); err != nil {
+			t.Fatalf("elastic sweep errored instead of escalating: %v", err)
+		}
+		if e.dead[0] {
+			break
+		}
+	}
+	if !e.dead[0] {
+		t.Fatal("exhausted budget did not presume the silent owner dead")
+	}
+	if e.adoptedBy[0] != 1 {
+		t.Fatalf("adopter of the presumed-dead owner = %d, want 1 (lowest alive rank)", e.adoptedBy[0])
+	}
+	if len(e.adoptedSet) == 0 {
+		t.Fatal("no tasks migrated off the presumed-dead owner")
+	}
+	if p := e.pending[tag]; p != nil && p.attempts != 0 {
+		t.Fatalf("retry budget not reset after adoption: attempts = %d", p.attempts)
+	}
+}
+
+// TestArrivalTimeoutTickerClamp is the regression for the re-request ticker
+// period: ArrivalTimeout of a single nanosecond halves to zero, which
+// time.NewTicker rejects with a panic — the engine must clamp the sweep
+// period instead of crashing, and the (furiously re-requesting) run must
+// still complete correctly on a fault-free network.
+func TestArrivalTimeoutTickerClamp(t *testing.T) {
+	const mt, b = 6, 4
+	d := dist.NewTwoDBC(2, 2)
+	base, _, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 36), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact, _, err := FactorLU(mt, b, d, GenDiagDominant(mt, b, 36),
+		Options{Workers: 1, ArrivalTimeout: 1})
+	if err != nil {
+		t.Fatalf("1ns arrival timeout failed the run: %v", err)
+	}
+	identicalLU(t, "clamped ticker", base, fact, mt)
+}
+
+// TestTreeRelayAfterHealedRedelivery pins the relay-dedup fix: a tag healed
+// into the seen set by a Resend redelivery (which carries no Forward list)
+// must NOT swallow the late original copy's forward obligation — the relay
+// dedup is keyed on a separate per-tag ledger, and fires exactly once.
+func TestTreeRelayAfterHealedRedelivery(t *testing.T) {
+	g := dag.NewLU(4)
+	d := dist.NewTwoDBC(2, 2)
+	cl := cluster.New(4)
+	defer cl.Close()
+	e := testEngine(t, 1, cl, g, d, 3, GenDiagDominant(4, 3, 1), LUKernel)
+
+	pay := tile.New(3, 3)
+	pay.Fill(2.5)
+	tag := cluster.Tag{I: 0, J: 0, V: 0}
+	// A Resend-style heal lands first: no Forward list, marks the tag seen.
+	if err := e.onArrival(cluster.Message{From: 0, To: 1, Tag: tag, Payload: pay}); err != nil {
+		t.Fatal(err)
+	}
+	if e.forwarded != 0 {
+		t.Fatalf("heal with no forward list relayed %d hops", e.forwarded)
+	}
+	// The delayed original arrives with its subtree: it is a payload
+	// duplicate, but its Forward obligation is fresh and must be honored.
+	if err := e.onArrival(cluster.Message{From: 0, To: 1, Tag: tag, Payload: pay.Clone(), Forward: []int{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.forwarded != 1 {
+		t.Fatalf("late original's forward obligation not honored: forwarded = %d, want 1", e.forwarded)
+	}
+	if !e.relayed[tag] {
+		t.Fatal("relay ledger did not record the forwarded tag")
+	}
+	// A further duplicate carrying a forward list must not relay again.
+	if err := e.onArrival(cluster.Message{From: 0, To: 1, Tag: tag, Payload: pay.Clone(), Forward: []int{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if e.forwarded != 1 {
+		t.Fatalf("duplicate re-relayed: forwarded = %d, want 1", e.forwarded)
+	}
+}

@@ -72,6 +72,12 @@
 // Report.Resilience counts the re-requests, redeliveries served, and
 // recoveries per node.
 //
+// Options.Elastic extends resilience to topology change: a node that dies
+// mid-run no longer aborts the factorization — a deterministically chosen
+// survivor adopts its unfinished tasks and republishes their outputs under
+// the original versioned tags, and lagging owners' work can be replayed
+// speculatively at demoted priority (see adopt.go for the full design).
+//
 // # Tracing
 //
 // When Options.Recorder is set, the run records wall-clock kernel intervals
@@ -107,6 +113,15 @@ type Kernel func(t dag.Task, out *tile.Tile, inputs []*tile.Tile) error
 // repeating one line per bystander rank.
 var ErrPeerAborted = errors.New("aborted: a peer node failed")
 
+// ErrUndelivered is the error a node reports when an awaited remote tile
+// version stayed undelivered through the full re-request retry budget
+// (Options.MaxReRequests): the owner is unreachable or permanently silent.
+// Without a retry cap a crashed owner used to produce an endless Request
+// storm that only an external watchdog could end; with the cap the node
+// fails descriptively instead — or, under Options.Elastic, presumes the
+// owner dead and adopts its work rather than failing at all.
+var ErrUndelivered = errors.New("tile version undelivered: re-request retry budget exhausted")
+
 // Options tunes the engine.
 type Options struct {
 	// Workers is the number of concurrent kernel executors per node. Values
@@ -140,6 +155,38 @@ type Options struct {
 	// Final factors are bit-identical across modes; only the wire routing
 	// (Report.Stats.Hops/Forwards) changes.
 	Broadcast cluster.BroadcastMode
+	// Elastic arms ownership migration: a node that crashes mid-run no
+	// longer aborts the whole factorization. The dying node announces
+	// itself (cluster.NoteDown), a deterministically chosen survivor — the
+	// fastest alive node under Speeds, ties to the lowest rank — adopts the
+	// dead node's tasks by replaying them from the initial tile generator
+	// and the published-version caches of the surviving owners, and
+	// republishes the results under the original versioned tags, so
+	// downstream consumers cannot tell the migration happened. Elastic
+	// implies the re-request protocol; ArrivalTimeout is defaulted when
+	// unset. Exactly-once delivery is not required: replayed kernels are
+	// deterministic, so duplicate publications drop idempotently and final
+	// factors stay bit-identical to a crash-free run.
+	Elastic bool
+	// Speeds gives the relative node speeds (internal/hetero's model) the
+	// elastic adopter rule consults; nil means homogeneous. Length must be
+	// the node count when set.
+	Speeds []float64
+	// MaxReRequests caps how many times one awaited tile version is
+	// re-requested before the node gives up on its owner: zero means the
+	// default (50), negative means unlimited (the pre-cap behavior). On an
+	// exhausted budget a non-elastic node fails with ErrUndelivered naming
+	// the owner, tag, and retry count; an elastic node instead presumes the
+	// owner dead, gossips cluster.NoteDown, and adopts its work.
+	MaxReRequests int
+	// LagReRequests, in elastic mode, is the re-request attempt count after
+	// which a still-alive but lagging owner's unfinished work becomes
+	// eligible for speculative adoption: the waiting node replays the
+	// overdue version's producer chain itself, at demoted scheduler
+	// priority (sched.Demote), racing the laggard. Whichever copy lands
+	// first wins; the other drops as an idempotent duplicate. Zero disables
+	// speculation.
+	LagReRequests int
 }
 
 // Report summarizes one distributed execution.
@@ -196,6 +243,16 @@ type ResilienceStats struct {
 	// Recovered counts the awaited tile versions that arrived only after
 	// this node re-requested them — deliveries the timeout path healed.
 	Recovered int
+	// Adopted counts the dead-node tasks this node re-ran as the elastic
+	// adopter: the migration that let the run finish despite the crash.
+	Adopted int
+	// Speculative counts the lagging-node tasks this node re-ran
+	// speculatively (Options.LagReRequests) while their owner was still
+	// alive.
+	Speculative int
+	// Died reports that this node crashed mid-run (injected or presumed);
+	// its unfinished work was adopted by a survivor.
+	Died bool
 }
 
 // SchedStats describes one node's scheduling behaviour over a run.
@@ -245,6 +302,9 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		return nil, err
 	}
 	P := d.Nodes()
+	if opt.Elastic && opt.Speeds != nil && len(opt.Speeds) != P {
+		return nil, fmt.Errorf("runtime: %d speeds for %d nodes", len(opt.Speeds), P)
+	}
 	var net cluster.Network
 	if opt.Chaos != nil {
 		net = opt.Chaos
@@ -254,6 +314,12 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 	}
 	if opt.ArrivalTimeout < 0 {
 		opt.ArrivalTimeout = 0
+	}
+	if opt.Elastic && opt.ArrivalTimeout == 0 {
+		// Elastic recovery is built on the re-request protocol (published
+		// caches, arrival deadlines, escalation); it cannot be disabled
+		// underneath it.
+		opt.ArrivalTimeout = 250 * time.Millisecond
 	}
 	cl := cluster.NewWithOptions(P, cluster.Options{Net: net, Broadcast: opt.Broadcast})
 
@@ -352,11 +418,27 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 			ReRequests:  e.reRequests,
 			Redelivered: int(e.redelivered.Load()),
 			Recovered:   e.recovered,
+			Adopted:     e.adopted,
+			Speculative: e.speculative,
+			Died:        e.died,
 		}
 		rep.ForwardedPerNode[rank] = e.forwarded + int(e.forwardedLate.Load())
 	}
 
 	if collect != nil {
+		// A tile whose owner crashed lives on in its adopter's replay
+		// buffers; any surviving engine's adoption table locates it. A rank
+		// merely presumed dead (false positive) finished its own tiles, so
+		// the remap applies only to engines that really died.
+		adopterOf := func(rank int) int {
+			for _, e := range engines {
+				if e.adoptedBy != nil && e.adoptedBy[rank] >= 0 {
+					return e.adoptedBy[rank]
+				}
+			}
+			return -1
+		}
+		var collectErr error
 		seen := map[cluster.Tag]bool{}
 		dag.ForEachTask(g, func(t dag.Task) {
 			i, j := g.OutputTile(t)
@@ -366,8 +448,27 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 			}
 			seen[tag] = true
 			owner := d.Owner(i, j)
-			collect(i, j, engines[owner].tiles[tag])
+			for engines[owner].died {
+				a := adopterOf(owner)
+				if a < 0 || a == owner {
+					break
+				}
+				owner = a
+			}
+			final := engines[owner].tiles[tag]
+			if final == nil && collectErr == nil {
+				// Backstop: a dead node's work was never adopted — the run
+				// cannot produce complete factors.
+				collectErr = fmt.Errorf("runtime: tile (%d,%d) lost: owner %d died and no survivor adopted its tasks",
+					i, j, d.Owner(i, j))
+			}
+			if final != nil {
+				collect(i, j, final)
+			}
 		})
+		if collectErr != nil {
+			return nil, collectErr
+		}
 	}
 	return rep, nil
 }
@@ -393,6 +494,7 @@ type engine struct {
 	comm    *cluster.Comm
 	g       dag.Graph
 	owner   func(i, j int) int
+	gen     func(i, j int) *tile.Tile
 	b       int
 	kern    Kernel
 	workers int
@@ -464,6 +566,38 @@ type engine struct {
 	published map[cluster.Tag]*tile.Tile
 	seen      map[cluster.Tag]bool
 	pending   map[cluster.Tag]*pendingWait
+	// relayed marks tree-broadcast tags whose Forward obligation this node
+	// has honored. It is deliberately separate from seen: a redelivery
+	// healed via Resend (no Forward list) marks a tag seen, but the late
+	// original copy still carries the subtree and must be relayed exactly
+	// once — keying the relay dedup on seen would swallow it and strand the
+	// subtree behind its members' own re-request timeouts.
+	relayed map[cluster.Tag]bool
+
+	// Elastic recovery (armed by Options.Elastic): dead tracks crashed and
+	// presumed-dead peers, adoptedBy the survivor that re-runs each dead
+	// node's tasks (the deterministic hetero.Fastest rule, so every node
+	// agrees without coordination), peerDone the completion barrier that
+	// keeps every node's event loop serving re-requests and adoptions until
+	// the whole cluster has finished. completed/adoptedSet/taskByTag back
+	// the adoption state machine in adopt.go; total is the node's current
+	// completion target (owned tasks plus adoptions). maxReq/lagReq are the
+	// retry budgets of Options.
+	elastic     bool
+	speeds      []float64
+	maxReq      int
+	lagReq      int
+	dead        []bool
+	adoptedBy   []int
+	peerDone    []bool
+	doneSent    bool
+	died        bool
+	total       int
+	completed   []bool                   // per owned index: task has finished here
+	adoptedSet  map[int]bool             // graph task id -> adopted into this engine
+	taskByTag   map[cluster.Tag]dag.Task // producer task of every output version (lazy)
+	adopted     int                      // Resilience.Adopted
+	speculative int                      // Resilience.Speculative
 
 	// Resilience observability (Report.Resilience). redelivered is atomic
 	// because the late request server increments it concurrently with the
@@ -475,9 +609,10 @@ type engine struct {
 
 // pendingWait is the re-request state of one awaited remote tile version.
 type pendingWait struct {
-	deadline time.Time
-	backoff  time.Duration
-	attempts int
+	deadline   time.Time
+	backoff    time.Duration
+	attempts   int
+	speculated bool // an adoption already races this tag; never escalate it
 }
 
 func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
@@ -485,16 +620,17 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 	ver []int32, epoch time.Time) *engine {
 
 	e := &engine{
-		rank:     rank,
-		comm:     comm,
-		g:        g,
-		owner:    d.Owner,
-		b:        b,
-		kern:     kern,
-		workers:  opt.Workers,
-		ver:      ver,
-		rec:      opt.Recorder,
-		epoch:    epoch,
+		rank:       rank,
+		comm:       comm,
+		g:          g,
+		owner:      d.Owner,
+		gen:        gen,
+		b:          b,
+		kern:       kern,
+		workers:    opt.Workers,
+		ver:        ver,
+		rec:        opt.Recorder,
+		epoch:      epoch,
 		localIdx:   make(map[int]int),
 		waiters:    make(map[cluster.Tag][]int),
 		tiles:      make(map[cluster.Tag]*tile.Tile),
@@ -506,15 +642,34 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 		ready:      sched.NewHeap(sched.CriticalPath.Tie()),
 		chaos:      opt.Chaos,
 		arrival:    opt.ArrivalTimeout,
+		elastic:    opt.Elastic,
+		speeds:     opt.Speeds,
+		maxReq:     opt.MaxReRequests,
+		lagReq:     opt.LagReRequests,
 	}
 	// opt.Workers is already normalized (Run is the only normalization
 	// point); direct constructors must pass a positive count.
 	e.disp = newDispatcher(e.workers)
 	e.busy = make([]int64, e.workers)
+	if e.maxReq == 0 {
+		e.maxReq = 50
+	}
+	e.relayed = make(map[cluster.Tag]bool)
 	if e.arrival > 0 {
 		e.resilient = true
 		e.published = make(map[cluster.Tag]*tile.Tile)
 		e.seen = make(map[cluster.Tag]bool)
+		e.pending = make(map[cluster.Tag]*pendingWait)
+	}
+	if e.elastic {
+		P := comm.Size()
+		e.dead = make([]bool, P)
+		e.adoptedBy = make([]int, P)
+		for n := range e.adoptedBy {
+			e.adoptedBy[n] = -1
+		}
+		e.peerDone = make([]bool, P)
+		e.adoptedSet = make(map[int]bool)
 	}
 	// Discover owned tasks and materialize owned tiles.
 	dag.ForEachTask(g, func(t dag.Task) {
@@ -535,6 +690,7 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 	// Dependency bookkeeping: local deps resolve through successor visits,
 	// remote deps through versioned tile arrivals.
 	e.remaining = make([]int32, len(e.owned))
+	e.completed = make([]bool, len(e.owned))
 	e.ins = make([][]inputRef, len(e.owned))
 	e.keys = make([]int64, len(e.owned))
 	for idx, t := range e.owned {
@@ -581,9 +737,16 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 // task has completed, or promptly once the run aborts: a local kernel error
 // poisons the cluster and is returned; a poisoned cluster observed while work
 // is still outstanding means a peer failed, and ErrPeerAborted is returned.
+//
+// In elastic mode the exit condition is a barrier, not a local count: a node
+// that finishes its share broadcasts cluster.NoteDone and keeps its event
+// loop alive — answering re-requests, relaying tree hops, and above all
+// remaining adoptable work-capacity — until every peer is done or dead. The
+// barrier is what guarantees a death always finds its deterministic adopter
+// still inside an event loop, never already exited.
 func (e *engine) run() error {
-	total := len(e.owned)
-	if total == 0 {
+	e.total = len(e.owned)
+	if e.total == 0 && !e.elastic {
 		return nil
 	}
 
@@ -621,11 +784,13 @@ func (e *engine) run() error {
 					e.noteStall(waitStart, waitEnd)
 				}
 				start := time.Now()
-				err := e.kern(e.owned[jb.idx], jb.out, jb.inputs)
+				// jb.task, not e.owned[jb.idx]: elastic adoption appends to
+				// owned from the event loop while workers run.
+				err := e.kern(jb.task, jb.out, jb.inputs)
 				end := time.Now()
 				e.busy[slot] += end.Sub(start).Nanoseconds()
 				if e.rec != nil {
-					e.rec.RecordTask(e.rank, slot, e.owned[jb.idx],
+					e.rec.RecordTask(e.rank, slot, jb.task,
 						start.Sub(e.epoch).Seconds(), end.Sub(e.epoch).Seconds())
 				}
 				events <- event{completed: jb.idx, err: err}
@@ -642,15 +807,21 @@ func (e *engine) run() error {
 	// Arm the re-request protocol: every awaited remote tile version gets an
 	// arrival deadline, and a ticker at half the timeout drives the overdue
 	// sweep. The channel stays nil — and the select case dead — when the
-	// protocol is off or nothing is awaited, so the happy path pays nothing.
+	// protocol is off or nothing is awaited; elastic nodes always arm it,
+	// because adoption registers new awaited tags mid-run even on a node that
+	// started with none. The sweep period is floored at 1ms: a sub-2ns
+	// ArrivalTimeout used to truncate to a zero ticker period and panic.
 	var tick <-chan time.Time
-	if e.resilient && len(e.waiters) > 0 {
-		e.pending = make(map[cluster.Tag]*pendingWait, len(e.waiters))
+	if e.resilient && (len(e.waiters) > 0 || e.elastic) {
 		deadline := time.Now().Add(e.arrival)
 		for tag := range e.waiters {
 			e.pending[tag] = &pendingWait{deadline: deadline, backoff: e.arrival}
 		}
-		ticker := time.NewTicker(e.arrival / 2)
+		period := e.arrival / 2
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		ticker := time.NewTicker(period)
 		defer ticker.Stop()
 		tick = ticker.C
 	}
@@ -680,6 +851,9 @@ func (e *engine) run() error {
 		e.dispatched[t.Kind]++
 		oi, oj := e.g.OutputTile(t)
 		out := e.tiles[cluster.Tag{I: int32(oi), J: int32(oj)}]
+		if out == nil {
+			panic(fmt.Sprintf("runtime: node %d: output tile of %v missing", e.rank, t))
+		}
 		inputs := e.inbuf[idx]
 		for k, ref := range e.ins[idx] {
 			var in *tile.Tile
@@ -693,7 +867,7 @@ func (e *engine) run() error {
 			}
 			inputs[k] = in
 		}
-		e.disp.push(job{idx: idx, out: out, inputs: inputs})
+		e.disp.push(job{idx: idx, task: t, out: out, inputs: inputs})
 	}
 
 	var abortErr error
@@ -719,17 +893,49 @@ func (e *engine) run() error {
 			for !e.ready.Empty() && inflight < feedCap {
 				if crashAt >= 0 && dispatchCount == crashAt {
 					e.chaos.RecordCrash(e.rank, dispatchCount)
-					e.comm.Abort()
-					abortLocal(fmt.Errorf("node %d died before its owned task %d: %w",
-						e.rank, dispatchCount, chaos.ErrInjectedCrash))
+					if e.elastic {
+						// Elastic death: announce it out-of-band and fall
+						// silent — no more dispatch, no publications, no
+						// request answering. The cluster is NOT poisoned;
+						// the survivors' adopter replays our tasks and the
+						// run completes without us. Crashing is not an
+						// error under elastic recovery.
+						e.died = true
+						e.comm.Notify(cluster.NoteDown, e.rank)
+						if e.rec != nil {
+							e.rec.RecordFault("crash", e.rank, e.rank,
+								fmt.Sprintf("task %d", dispatchCount),
+								time.Since(e.epoch).Seconds())
+						}
+						abortLocal(nil)
+					} else {
+						e.comm.Abort()
+						abortLocal(fmt.Errorf("node %d died before its owned task %d: %w",
+							e.rank, dispatchCount, chaos.ErrInjectedCrash))
+					}
 					break
 				}
 				dispatch(int(e.ready.Pop()))
 				dispatchCount++
 				inflight++
 			}
-			if !aborted && done == total {
-				break
+			if !aborted && done == e.total {
+				if !e.elastic {
+					break
+				}
+				// Elastic completion barrier: announce we are done (once —
+				// adoption may raise e.total again, and a stale NoteDone is
+				// harmless because every node stays in its loop until the
+				// whole cluster settles) and exit only when every peer is
+				// done or dead.
+				if !e.doneSent {
+					e.doneSent = true
+					e.peerDone[e.rank] = true
+					e.comm.Notify(cluster.NoteDone, e.rank)
+				}
+				if e.peersSettled() {
+					break
+				}
 			}
 		}
 		if aborted && inflight == 0 {
@@ -757,7 +963,9 @@ func (e *engine) run() error {
 						// First local kernel failure: record the root cause,
 						// stop dispatching, and poison the cluster so peers
 						// blocked on tiles we will never produce wake up. The
-						// failed task's output is never published.
+						// failed task's output is never published. A kernel
+						// error is a correctness failure, not a crash —
+						// elastic recovery never masks it.
 						e.comm.Abort()
 						abortLocal(fmt.Errorf("%v: %w", e.owned[ev.completed], ev.err))
 					} else if errors.Is(abortErr, ErrPeerAborted) {
@@ -784,7 +992,13 @@ func (e *engine) run() error {
 			}
 		case <-tick:
 			if !aborted {
-				e.onTick()
+				if err := e.onTick(); err != nil {
+					// Retry budget exhausted on a non-elastic run: fail
+					// descriptively and poison the cluster, exactly like a
+					// kernel error.
+					e.comm.Abort()
+					abortLocal(err)
+				}
 			}
 		}
 	}
@@ -798,25 +1012,30 @@ func (e *engine) run() error {
 	// server deliberately touches only the published cache (under pubMu) and
 	// atomic counters — never the recorder or plain engine fields, which the
 	// report reads concurrently.
+	// crashed covers every abort, including an elastic death: a dead node
+	// answers no requests and relays nothing — that silence is exactly what
+	// the survivors' escalation and adoption must overcome.
 	crashed := aborted
 	go func() {
 		for ev := range events {
+			if ev.msg.Note != cluster.NoteNone {
+				continue
+			}
 			if e.resilient && !crashed && ev.msg.Req {
 				e.answerRequest(ev.msg, false)
 				continue
 			}
 			// A tree-broadcast hop that lands after our event loop finished
 			// still carries its subtree's deliveries: relay it (once — the
-			// seen map, now touched only by this goroutine, drops duplicate
-			// re-deliveries) before releasing our own share, so a fast
-			// consumer never strands the slow subtree behind it.
-			if !crashed && len(ev.msg.Forward) > 0 {
-				if e.seen == nil || !e.seen[ev.msg.Tag] {
-					if e.seen != nil {
-						e.seen[ev.msg.Tag] = true
-					}
-					e.forwardedLate.Add(int64(e.comm.Forward(ev.msg)))
-				}
+			// relayed map, now touched only by this goroutine, tracks the
+			// per-tag forward obligation) before releasing our own share, so
+			// a fast consumer never strands the slow subtree behind it. The
+			// dedup is keyed on relayed, not seen: a tag healed into seen by
+			// a Resend redelivery (which carries no Forward list) must not
+			// swallow the late original copy's relay duty.
+			if !crashed && len(ev.msg.Forward) > 0 && !e.relayed[ev.msg.Tag] {
+				e.relayed[ev.msg.Tag] = true
+				e.forwardedLate.Add(int64(e.comm.Forward(ev.msg)))
 			}
 			ev.msg.Release()
 		}
@@ -829,16 +1048,57 @@ func (e *engine) run() error {
 }
 
 // onTick sweeps the awaited remote tile versions and re-requests every one
-// past its deadline from its owner, doubling the deadline each retry
-// (capped) so a genuinely slow producer is not hammered.
-func (e *engine) onTick() {
+// past its deadline from its owner (or, once the owner is dead, from its
+// adopter), doubling the deadline each retry (capped) so a genuinely slow
+// producer is not hammered. The sweep is also the failure detector of last
+// resort: a tag whose retry budget (Options.MaxReRequests) runs dry fails
+// the node with ErrUndelivered on a plain resilient run, or — under elastic
+// recovery — presumes the silent owner dead, gossips cluster.NoteDown, and
+// restarts the budget against the adopter. Before that point, a lagging but
+// answering owner's chain can be adopted speculatively (Options.LagReRequests).
+func (e *engine) onTick() error {
 	now := time.Now()
 	for tag, p := range e.pending {
 		if now.Before(p.deadline) {
 			continue
 		}
-		owner := e.owner(int(tag.I), int(tag.J))
-		e.comm.Request(owner, tag)
+		origOwner := e.owner(int(tag.I), int(tag.J))
+		target := e.liveOwner(origOwner)
+		if target == e.rank || target < 0 {
+			// We are the adopter ourselves (the replay will fulfill this tag
+			// locally), or the dead owner has no adopter to ask: requesting
+			// is pointless, just keep the deadline moving.
+			p.deadline = now.Add(p.backoff)
+			continue
+		}
+		if p.attempts >= e.maxReq && e.maxReq > 0 && !p.speculated {
+			if !e.elastic {
+				return fmt.Errorf("node %d: tile (%d,%d) v%d from node %d undelivered after %d re-requests: %w",
+					e.rank, tag.I, tag.J, tag.V, target, p.attempts, ErrUndelivered)
+			}
+			// Elastic escalation: the target has ignored the whole budget —
+			// presume it dead, tell everyone, and start a fresh budget
+			// against whoever adopts it. markDead resets the attempts of
+			// every tag the dead node owed us.
+			e.markDead(target, true)
+			if target = e.liveOwner(origOwner); target == e.rank || target < 0 {
+				continue
+			}
+		}
+		if e.elastic && e.lagReq > 0 && p.attempts >= e.lagReq && !p.speculated && !e.dead[origOwner] {
+			// The owner is alive but lagging: speculatively replay the
+			// overdue version's producer chain at demoted priority, racing
+			// the laggard. Whichever copy lands first wins; the loser drops
+			// as an idempotent duplicate.
+			e.adoptChain(tag)
+			p.speculated = true
+			if _, still := e.pending[tag]; !still {
+				// The chain replay fulfilled the tag synchronously (every
+				// input was already at hand); nothing left to re-request.
+				continue
+			}
+		}
+		e.comm.Request(target, tag)
 		e.reRequests++
 		p.attempts++
 		p.backoff *= 2
@@ -847,11 +1107,12 @@ func (e *engine) onTick() {
 		}
 		p.deadline = now.Add(p.backoff)
 		if e.rec != nil {
-			e.rec.RecordFault("re-request", e.rank, owner,
+			e.rec.RecordFault("re-request", e.rank, target,
 				fmt.Sprintf("(%d,%d)v%d", tag.I, tag.J, tag.V),
 				time.Since(e.epoch).Seconds())
 		}
 	}
+	return nil
 }
 
 // answerRequest serves one version re-request from the published cache. A
@@ -903,24 +1164,70 @@ func (e *engine) pushReady(idx int) {
 // onComplete publishes a finished task: releases local successors, sends the
 // output tile version once to every distinct remote consumer node, and
 // releases received tiles whose last local consumer just ran.
+//
+// Under elastic recovery the completion may belong to an adopted task, and
+// the node may host both halves of a dependency edge that used to cross the
+// wire. Local successors split by side: a successor on the same side as the
+// producer (both native, or both adopted — reading the producer's in-place
+// buffer) is released directly; a successor on the other side registered a
+// waiter on the versioned tag at adoption time and is fed through
+// fulfillLocal, which stashes a snapshot exactly as if the tag had arrived
+// over the network — one release path per edge, so a racing stale arrival
+// can never double-decrement a dependency count.
 func (e *engine) onComplete(idx int) {
 	t := e.owned[idx]
+	e.completed[idx] = true
 	e.flops += e.g.Flops(t, e.b)
 	oi, oj := e.g.OutputTile(t)
 	v := e.ver[e.g.ID(t)]
 	out := e.tiles[cluster.Tag{I: int32(oi), J: int32(oj)}]
 	netTag := cluster.Tag{I: int32(oi), J: int32(oj), V: v}
 
+	tAdopted := e.adoptedSet[e.g.ID(t)]
+	origOwner := e.owner(oi, oj)
+	if tAdopted {
+		if sched.Demoted(e.keys[idx]) {
+			e.speculative++
+		} else {
+			e.adopted++
+		}
+	}
+
+	hadRemote := false
 	e.dstList = e.dstList[:0]
 	e.g.Successors(t, func(s dag.Task) {
-		si, sj := e.g.OutputTile(s)
-		dst := e.owner(si, sj)
-		if dst == e.rank {
-			li := e.localIdx[e.g.ID(s)]
+		sid := e.g.ID(s)
+		if li, ok := e.localIdx[sid]; ok && e.adoptedSet[sid] == tAdopted {
+			// Same-side local successor: released directly (cross-side local
+			// edges go through fulfillLocal below, via the waiter the
+			// consumer registered on netTag).
 			e.remaining[li]--
 			if e.remaining[li] == 0 {
 				e.pushReady(li)
 			}
+		}
+		si, sj := e.g.OutputTile(s)
+		sOwner := e.owner(si, sj)
+		if sOwner == e.rank {
+			return // natively local edge: no wire delivery in any schedule
+		}
+		// The successor's original rank consumes this version over the wire
+		// regardless of whether a copy of the task also runs here: adopting a
+		// task — fully or speculatively — never cancels the delivery to the
+		// rank that still natively awaits it (a speculated successor's owner
+		// is alive and computing; skipping it would strand its native copy
+		// with a version that was never broadcast and so can never heal).
+		hadRemote = true
+		dst := e.liveOwner(sOwner)
+		if dst == e.rank || dst < 0 {
+			// Our own adoptee, or owned by a dead node nobody has adopted
+			// yet: its eventual adopter pulls the version via Request from
+			// our published cache.
+			return
+		}
+		if tAdopted && dst == origOwner && !e.dead[origOwner] {
+			// Speculative replay of a lagging-but-alive node's task: never
+			// feed the original owner its own output.
 			return
 		}
 		if !e.dstSeen[dst] {
@@ -932,17 +1239,23 @@ func (e *engine) onComplete(idx int) {
 		// One broadcast, one clone: every consumer node shares the same
 		// immutable payload (see cluster.SendAll).
 		e.comm.SendAll(e.dstList, netTag, out)
-		if e.published != nil {
-			// Snapshot the published version for the re-request protocol:
-			// out is updated in place by this tile's later writers, so the
-			// broadcast content must be preserved separately.
-			e.pubMu.Lock()
-			e.published[netTag] = out.Clone()
-			e.pubMu.Unlock()
-		}
 		for _, dst := range e.dstList {
 			e.dstSeen[dst] = false
 		}
+	}
+	if e.published != nil && hadRemote {
+		// Snapshot the published version for the re-request protocol: out is
+		// updated in place by this tile's later writers, so the broadcast
+		// content must be preserved separately. Snapshotted whenever any
+		// remote consumer exists — even one whose death (or speculative
+		// skip) emptied today's destination list — because that consumer's
+		// adopter may still re-request the version.
+		e.pubMu.Lock()
+		e.published[netTag] = out.Clone()
+		e.pubMu.Unlock()
+	}
+	if e.elastic {
+		e.fulfillLocal(netTag, out)
 	}
 
 	// Last-reader release: drop received copies this task consumed once no
@@ -975,10 +1288,27 @@ func (e *engine) onComplete(idx int) {
 // genuinely conflict, since then one of the two writes is wrong and the run
 // cannot be trusted.
 func (e *engine) onArrival(msg cluster.Message) error {
+	if msg.Note != cluster.NoteNone {
+		e.onNote(msg)
+		return nil
+	}
 	if msg.Req {
 		// A consumer's re-request for a version we published (no payload).
 		e.answerRequest(msg, true)
 		return nil
+	}
+	// Honor the tree-broadcast relay obligation before any payload dedup, so
+	// the subtree's arrivals pipeline behind ours instead of behind our
+	// kernel work. The obligation is deduplicated by the relayed map, not by
+	// the recv/seen payload dedup below: when an interior relay hop dropped
+	// the original copy and a Resend heal (which carries no Forward list)
+	// landed first, the late original is a payload duplicate that still owes
+	// its subtree a relay — keying relays on the payload dedup used to
+	// swallow it and strand every downstream consumer behind its own
+	// re-request timeout.
+	if len(msg.Forward) > 0 && !e.relayed[msg.Tag] {
+		e.relayed[msg.Tag] = true
+		e.forwarded += e.comm.Forward(msg)
 	}
 	if prev, dup := e.recv[msg.Tag]; dup {
 		identical := prev.Payload.EqualApprox(msg.Payload, 0)
@@ -1000,14 +1330,6 @@ func (e *engine) onArrival(msg cluster.Message) error {
 			return nil
 		}
 		e.seen[msg.Tag] = true
-	}
-	// First delivery of this tag: honor its tree-broadcast relay obligation
-	// before anything else, so the subtree's arrivals pipeline behind ours
-	// instead of behind our kernel work. Duplicates never reach this point —
-	// the recv/seen dedup above dropped them — so one broadcast relays each
-	// subtree exactly once no matter how a faulty network re-delivers.
-	if len(msg.Forward) > 0 {
-		e.forwarded += e.comm.Forward(msg)
 	}
 	if e.pending != nil {
 		if p, ok := e.pending[msg.Tag]; ok {

@@ -89,6 +89,21 @@ func (p Policy) Key(t dag.Task) int64 {
 	return Key(t)
 }
 
+// demoteBit is far above every bit Key can set ((L*4+kind)<<subBits | sub
+// stays below 2^50 for any feasible matrix), so demoted keys form a second
+// band that sorts strictly after all native keys.
+const demoteBit = int64(1) << 55
+
+// Demote returns key moved into the low-priority band: a demoted key orders
+// after every undemoted Key, while demoted keys keep their relative
+// critical-path order. The runtime uses it for speculatively adopted tasks —
+// re-executions of a lagging peer's work that must never starve the node's
+// own critical path.
+func Demote(key int64) int64 { return key | demoteBit }
+
+// Demoted reports whether key is in the low-priority band of Demote.
+func Demoted(key int64) bool { return key&demoteBit != 0 }
+
 // Tie selects how a Heap orders ids whose keys compare equal.
 type Tie int
 
