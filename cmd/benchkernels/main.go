@@ -21,11 +21,12 @@
 // baseline JSON, keyed by gomaxprocs: each fresh entry is matched to the
 // baseline entry with the same gomaxprocs, and any kernel present in both
 // that drops below floor-frac of its baseline GFlop/s fails the process
-// (exit 1). A fresh gomaxprocs with NO matching baseline entry also fails —
-// silently comparing, say, a 4-proc run against 1-proc floors would gate
-// nothing. The check is skipped when the assembly microkernel is not in use,
-// because the pure-Go fallback's rates are not comparable to an AVX2
-// baseline.
+// (exit 1). A fresh gomaxprocs with no matching baseline entry gates against
+// the nearest LOWER baseline parallelism with a logged warning (rates only
+// grow with procs, so a lower-procs floor stays a valid lower bound); only
+// when no lower entry exists either does the check fail. The check is skipped
+// when the assembly microkernel is not in use, because the pure-Go fallback's
+// rates are not comparable to an AVX2 baseline.
 package main
 
 import (
@@ -133,8 +134,11 @@ func parseProcs(s string) ([]int, error) {
 
 // checkFloor compares fresh kernel rates against a committed baseline,
 // matching entries by gomaxprocs. A fresh entry with no same-gomaxprocs
-// baseline is an error, not a silent pass: floors measured at a different
-// parallelism gate nothing.
+// baseline falls back to the nearest *lower* baseline parallelism with a
+// logged warning — a floor measured with fewer procs is a legitimate (if
+// soft) gate, since rates only grow with parallelism, whereas comparing
+// against a higher-procs floor would fail spuriously. With no lower entry
+// either, it is an error, not a silent pass.
 func checkFloor(fresh Output, baselinePath string, frac float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -159,8 +163,19 @@ func checkFloor(fresh Output, baselinePath string, frac float64) error {
 	for _, bl := range fresh.Baselines {
 		baseRate, ok := baseByProcs[bl.GoMaxProcs]
 		if !ok {
-			return fmt.Errorf("baseline %s has no entry for gomaxprocs=%d — regenerate it with -procs including %d",
-				baselinePath, bl.GoMaxProcs, bl.GoMaxProcs)
+			nearest := -1
+			for procs := range baseByProcs {
+				if procs < bl.GoMaxProcs && procs > nearest {
+					nearest = procs
+				}
+			}
+			if nearest < 0 {
+				return fmt.Errorf("baseline %s has no entry for gomaxprocs=%d and none lower to fall back to — regenerate it with -procs including %d",
+					baselinePath, bl.GoMaxProcs, bl.GoMaxProcs)
+			}
+			fmt.Fprintf(os.Stderr, "floor: warning: baseline %s has no gomaxprocs=%d entry; gating against the nearest lower baseline gomaxprocs=%d\n",
+				baselinePath, bl.GoMaxProcs, nearest)
+			baseRate = baseByProcs[nearest]
 		}
 		for _, k := range bl.Kernels {
 			want, ok := baseRate[k.Name]

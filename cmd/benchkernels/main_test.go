@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeBaseline marshals an Output into a temp baseline file.
+func writeBaseline(t *testing.T, out Output) string {
+	t.Helper()
+	data, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func suite(procs int, gemm float64) Baseline {
+	return Baseline{GoMaxProcs: procs, Kernels: []KernelResult{{Name: "gemm", N: 500, GFlops: gemm}}}
+}
+
+func TestCheckFloorFallsBackToLowerProcs(t *testing.T) {
+	// Baseline has 1 and 4 procs; a fresh 8-proc run must gate against the
+	// 4-proc floor instead of failing outright.
+	path := writeBaseline(t, Output{Schema: 2, Baselines: []Baseline{suite(1, 10), suite(4, 30)}})
+
+	fresh := Output{Baselines: []Baseline{suite(8, 28)}}
+	if err := checkFloor(fresh, path, 0.5); err != nil {
+		t.Fatalf("fresh 8-proc rate above the 4-proc floor must pass, got: %v", err)
+	}
+	slow := Output{Baselines: []Baseline{suite(8, 10)}}
+	if err := checkFloor(slow, path, 0.5); err == nil {
+		t.Fatal("fresh 8-proc rate below the fallback floor must fail")
+	}
+}
+
+func TestCheckFloorExactMatchStillPreferred(t *testing.T) {
+	// With an exact gomaxprocs entry present, the fallback must not engage:
+	// 25 beats half of the 4-proc floor (30) but the exact 8-proc floor is 60.
+	path := writeBaseline(t, Output{Schema: 2, Baselines: []Baseline{suite(4, 30), suite(8, 60)}})
+	fresh := Output{Baselines: []Baseline{suite(8, 25)}}
+	if err := checkFloor(fresh, path, 0.5); err == nil {
+		t.Fatal("rate below the exact-match floor must fail even if a laxer lower-procs floor exists")
+	}
+}
+
+func TestCheckFloorNoLowerEntryFails(t *testing.T) {
+	// Baseline only has higher parallelism: nothing to fall back to.
+	path := writeBaseline(t, Output{Schema: 2, Baselines: []Baseline{suite(4, 30)}})
+	fresh := Output{Baselines: []Baseline{suite(1, 100)}}
+	if err := checkFloor(fresh, path, 0.5); err == nil {
+		t.Fatal("fresh 1-proc run with only a 4-proc baseline must fail, not silently pass")
+	}
+}

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,6 +38,7 @@ import (
 	"anybc/internal/cluster"
 	"anybc/internal/core"
 	"anybc/internal/dag"
+	"anybc/internal/dist"
 	"anybc/internal/experiments"
 	"anybc/internal/gcrm"
 	"anybc/internal/runtime"
@@ -62,19 +64,31 @@ func main() {
 		tree   = flag.Bool("tree", false, "gantt mode: binomial-tree broadcast transport instead of flat fan-out")
 		elast  = flag.Bool("elastic", false, "gantt -real mode: survive node deaths by migrating their tasks to survivors")
 		crash  = flag.String("crash", "", "gantt -real mode: kill one node mid-run, as rank@task (0-based owned-task index)")
+		repl   = flag.Int("repl", 1, "gantt mode (LU only): replication factor c — stack c layers of the base grid, 2.5D-style")
+		sweep  = flag.String("commsweep", "", "run the pinned replication comm-volume sweep, write the points as JSON to this file, and exit nonzero if c=2 fails the volume-reduction gate")
 	)
 	flag.Parse()
+
+	if *sweep != "" {
+		if err := runCommSweep(*sweep); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *gantt != "" {
 		bc := cluster.BroadcastFlat
 		if *tree {
 			bc = cluster.BroadcastTree
 		}
+		if *repl < 1 {
+			fatal(fmt.Errorf("-repl must be >= 1 (got %d)", *repl))
+		}
 		var err error
 		if *real {
-			err = runGanttReal(*gantt, *p, *n, *tb, *work, *scheme, *kernel, *cseed, bc, *elast, *crash)
+			err = runGanttReal(*gantt, *p, *n, *tb, *work, *scheme, *kernel, *cseed, bc, *elast, *crash, *repl)
 		} else {
-			err = runGantt(*gantt, *p, *n, *scheme, *kernel, bc)
+			err = runGantt(*gantt, *p, *n, *scheme, *kernel, bc, *repl)
 		}
 		if err != nil {
 			fatal(err)
@@ -130,7 +144,7 @@ func main() {
 
 // runGantt simulates one (scheme, P, N) point with tracing enabled and
 // writes Gantt and message CSVs plus a utilization summary.
-func runGantt(prefix string, p, n int, scheme, kernel string, bc cluster.BroadcastMode) error {
+func runGantt(prefix string, p, n int, scheme, kernel string, bc cluster.BroadcastMode, repl int) error {
 	const b = 500
 	mt := n / b
 	if mt < 1 {
@@ -145,8 +159,15 @@ func runGantt(prefix string, p, n int, scheme, kernel string, bc cluster.Broadca
 	var g dag.Graph
 	switch kernel {
 	case "lu":
-		g = dag.NewLU(mt)
+		if repl > 1 {
+			g, d = dag.NewReplicatedLU(mt, repl), dist.NewReplicated(d, repl, mt)
+		} else {
+			g = dag.NewLU(mt)
+		}
 	case "cholesky":
+		if repl > 1 {
+			return fmt.Errorf("-repl is LU-only (got kernel %q)", kernel)
+		}
 		g = dag.NewCholesky(mt)
 	default:
 		return fmt.Errorf("unknown kernel %q", kernel)
@@ -164,6 +185,10 @@ func runGantt(prefix string, p, n int, scheme, kernel string, bc cluster.Broadca
 		g.Name(), d.Name(), res.GFlops(), res.Makespan, res.Messages)
 	fmt.Printf("broadcast %s: %d wire hops (%d relayed by recipients)\n",
 		bc, res.Hops, res.Forwards)
+	if repl > 1 {
+		fmt.Printf("replication c=%d: %d reduction shipments, %.2f MB of partials\n",
+			repl, res.Reduces, float64(res.ReduceBytes)/1e6)
+	}
 	fmt.Printf("per-node utilization:")
 	for _, u := range rec.Utilization(m.Workers, d.Nodes()) {
 		fmt.Printf(" %.2f", u)
@@ -192,10 +217,13 @@ func parseCrash(spec string, p int) (map[int]int, error) {
 // runGanttReal executes one real (numeric) factorization on the virtual
 // cluster with wall-clock tracing and writes the same CSV pair as the
 // simulated mode, plus working-set statistics from the release path.
-func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, chaosSeed int64, bc cluster.BroadcastMode, elastic bool, crash string) error {
+func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, chaosSeed int64, bc cluster.BroadcastMode, elastic bool, crash string, repl int) error {
 	mt := n / b
 	if mt < 2 {
 		return fmt.Errorf("matrix size %d below two %d-element tiles", n, b)
+	}
+	if repl > 1 && kernel != "lu" {
+		return fmt.Errorf("-repl is LU-only (got kernel %q)", kernel)
 	}
 	d, err := core.New(core.Scheme(scheme), p, core.Options{
 		GCRMSearch: gcrm.SearchOptions{Seeds: 30, SizeFactor: 5, BaseSeed: 1, Parallel: true},
@@ -214,7 +242,7 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 	if crash != "" {
 		// A crash directive without -chaos-seed gets a fault-free plan that
 		// only injects the crash itself.
-		cfg.CrashAtTask, err = parseCrash(crash, d.Nodes())
+		cfg.CrashAtTask, err = parseCrash(crash, repl*d.Nodes())
 		if err != nil {
 			return err
 		}
@@ -231,7 +259,12 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 	switch kernel {
 	case "lu":
 		name = "LU"
-		_, rep, err = runtime.FactorLU(mt, b, d, runtime.GenDiagDominant(mt, b, 1), opt)
+		if repl > 1 {
+			name = fmt.Sprintf("LU/c=%d", repl)
+			_, rep, err = runtime.FactorLUReplicated(mt, b, repl, d, runtime.GenDiagDominant(mt, b, 1), opt)
+		} else {
+			_, rep, err = runtime.FactorLU(mt, b, d, runtime.GenDiagDominant(mt, b, 1), opt)
+		}
 	case "cholesky":
 		name = "Cholesky"
 		_, rep, err = runtime.FactorCholesky(mt, b, d, runtime.GenSPD(mt, b, 1), opt)
@@ -252,6 +285,10 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 		float64(rep.Stats.TotalBytes())/1e6)
 	fmt.Printf("broadcast %s: %d wire hops, %d relayed by recipients\n",
 		rep.Broadcast, rep.Stats.TotalHops(), rep.Stats.TotalForwards())
+	if repl > 1 {
+		fmt.Printf("replication c=%d: %d reduction shipments, %.2f MB of partials\n",
+			repl, rep.Stats.TotalReduces(), float64(rep.Stats.TotalReduceBytes())/1e6)
+	}
 	if rep.Broadcast == cluster.BroadcastTree {
 		fmt.Printf("per-node outgoing hops:")
 		for _, h := range rep.Stats.HopsByNode() {
@@ -348,6 +385,39 @@ func runGanttReal(prefix string, p, n, b, workers int, scheme, kernel string, ch
 		return nil
 	}
 	fmt.Printf("wrote %s-gantt.csv and %s-messages.csv\n", prefix, prefix)
+	return nil
+}
+
+// runCommSweep runs the pinned replication comm-volume sweep (the CI gate),
+// writes the points as JSON, prints a summary table, and fails when
+// replicated c=2 LU does not cut per-node received volume by at least 25%
+// against the c=1 G-2DBC baseline.
+func runCommSweep(out string) error {
+	cfg, baseP, mt, cs := experiments.PinnedReplicationCase()
+	pts, err := experiments.ReplicationSweep(cfg, baseP, mt, cs)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(pts, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("replication sweep: N=%d, tile %d, base G-2DBC(%d)\n", mt*cfg.B, cfg.B, baseP)
+	fmt.Printf("%4s %6s %14s %14s %14s %8s\n", "c", "nodes", "recv/node (MB)", "reduce (MB)", "bound (MB)", "ratio")
+	for _, p := range pts {
+		fmt.Printf("%4d %6d %14.1f %14.1f %14.1f %8.3f\n",
+			p.C, p.Nodes, p.RecvMean/1e6, float64(p.ReduceBytes)/1e6, p.BoundBytes/1e6, p.RatioToBound)
+	}
+	base, c2 := pts[0], pts[1]
+	saving := 1 - c2.RecvMean/base.RecvMean
+	fmt.Printf("c=2 per-node received volume: %.1f%% below the c=1 baseline (gate: >= 25%%)\n", 100*saving)
+	fmt.Printf("wrote %s\n", out)
+	if saving < 0.25 {
+		return fmt.Errorf("comm-volume regression: c=2 saving %.1f%% below the 25%% gate", 100*saving)
+	}
 	return nil
 }
 

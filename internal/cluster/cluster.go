@@ -254,9 +254,12 @@ type Cluster struct {
 	messages     []atomic.Int64 // p*p logical counters, src*p+dst (owner→consumer)
 	bytes        []atomic.Int64
 	hops         []atomic.Int64 // p*p wire transmissions per physical link
+	wireBytes    []atomic.Int64 // bytes physically carried per link (one entry per hop)
 	forwards     []atomic.Int64 // wire hops sent by tree relays (subset of hops)
 	requests     []atomic.Int64 // control re-requests, src*p+dst
 	redeliveries []atomic.Int64 // payload re-sends answered by owners
+	reduces      []atomic.Int64 // reduction-partial sends (subset of messages)
+	reduceBytes  []atomic.Int64 // bytes of reduction partials (subset of bytes)
 	net          Network        // nil on a fault-free cluster
 	broadcast    BroadcastMode
 	pool         tile.Pool // recycles send clones released by receivers
@@ -285,9 +288,12 @@ func NewWithOptions(p int, opt Options) *Cluster {
 		messages:     make([]atomic.Int64, p*p),
 		bytes:        make([]atomic.Int64, p*p),
 		hops:         make([]atomic.Int64, p*p),
+		wireBytes:    make([]atomic.Int64, p*p),
 		forwards:     make([]atomic.Int64, p*p),
 		requests:     make([]atomic.Int64, p*p),
 		redeliveries: make([]atomic.Int64, p*p),
+		reduces:      make([]atomic.Int64, p*p),
+		reduceBytes:  make([]atomic.Int64, p*p),
 		net:          opt.Net,
 		broadcast:    opt.Broadcast,
 	}
@@ -413,7 +419,9 @@ func (c *Comm) sendAll(dsts []int, tag Tag, payload *tile.Tile) {
 		children, subtrees := TreeFanout(append([]int(nil), dsts...))
 		sh.refs.Store(int32(len(children)))
 		for i, child := range children {
-			cl.hops[c.rank*cl.p+child].Add(1)
+			idx := c.rank*cl.p + child
+			cl.hops[idx].Add(1)
+			cl.wireBytes[idx].Add(bytes)
 			cl.dispatch(Message{From: c.rank, To: child, Tag: tag, Payload: cp,
 				SentAt: now, Forward: subtrees[i], shared: sh})
 		}
@@ -421,9 +429,76 @@ func (c *Comm) sendAll(dsts []int, tag Tag, payload *tile.Tile) {
 	}
 	sh.refs.Store(int32(len(dsts)))
 	for _, dst := range dsts {
-		cl.hops[c.rank*cl.p+dst].Add(1)
+		idx := c.rank*cl.p + dst
+		cl.hops[idx].Add(1)
+		cl.wireBytes[idx].Add(bytes)
 		cl.dispatch(Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: now, shared: sh})
 	}
+}
+
+// SendReduce ships one reduction partial — a layer's accumulator tile — to
+// the single node that combines it. Partials always flow up exactly one edge
+// of the binomial combine schedule (ReduceTree), so unlike SendAll there is
+// no fan-out and no relay: one clone, one hop, in either broadcast mode. The
+// send is a logical tile message like any other (Stats.Messages/Bytes) and
+// additionally counted in Stats.Reduces/ReduceBytes, so measurements can
+// split a replicated run's volume into panel-broadcast and reduction
+// traffic. It passes through the fault seam like every delivery; a lost
+// partial heals through the ordinary re-request path (Request/Resend from
+// the publisher's version cache).
+func (c *Comm) SendReduce(dst int, tag Tag, payload *tile.Tile) {
+	if dst == c.rank {
+		panic("cluster: self-send; local data must not go through the network")
+	}
+	cl := c.cluster
+	if dst < 0 || dst >= cl.p {
+		panic(fmt.Sprintf("cluster: destination %d outside the %d-node cluster", dst, cl.p))
+	}
+	cp := cl.pool.Clone(payload)
+	sh := &sharedPayload{pool: &cl.pool, t: cp}
+	sh.refs.Store(1)
+	bytes := int64(cp.Bytes())
+	idx := c.rank*cl.p + dst
+	cl.messages[idx].Add(1)
+	cl.bytes[idx].Add(bytes)
+	cl.hops[idx].Add(1)
+	cl.wireBytes[idx].Add(bytes)
+	cl.reduces[idx].Add(1)
+	cl.reduceBytes[idx].Add(bytes)
+	cl.dispatch(Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: time.Now(), shared: sh})
+}
+
+// ReduceTree returns the binomial combine schedule for a reduction over n
+// group members, member 0 being the root that accumulates the final value:
+// parent[s] is the member that adds member s's contribution into its own,
+// with parent[0] = -1. The tree is the mirror image of TreeFanout's
+// broadcast: member s sends to s − 2^⌊log₂ lowbit(s)⌋ (its binomial parent),
+// after absorbing its own children s + 2^j for every 2^j < lowbit(s). Both
+// the task graph (internal/dag), the real runtime, and the simulator derive
+// the combine order from this one schedule, which is what keeps their byte
+// accounting identical.
+func ReduceTree(n int) (parent []int) {
+	parent = make([]int, n)
+	parent[0] = -1
+	for s := 1; s < n; s++ {
+		parent[s] = s - s&(-s)
+	}
+	return parent
+}
+
+// ReduceChildren returns the members whose contributions member s absorbs,
+// in combine order (ascending), under the ReduceTree schedule for n members:
+// s + 2^j for every 2^j < lowbit(s) (with lowbit(0) unbounded) that stays
+// below n.
+func ReduceChildren(n, s int) []int {
+	var kids []int
+	for step := 1; s+step < n; step <<= 1 {
+		if s != 0 && step >= s&(-s) {
+			break
+		}
+		kids = append(kids, s+step)
+	}
+	return kids
 }
 
 // Forward relays a tree-broadcast message onward: the caller received msg
@@ -448,6 +523,7 @@ func (c *Comm) Forward(msg Message) int {
 	for i, child := range children {
 		idx := c.rank*cl.p + child
 		cl.hops[idx].Add(1)
+		cl.wireBytes[idx].Add(int64(msg.Payload.Bytes()))
 		cl.forwards[idx].Add(1)
 		hop := msg.Dup()
 		hop.From, hop.To, hop.SentAt, hop.Forward = c.rank, child, now, subtrees[i]
@@ -531,6 +607,7 @@ func (c *Comm) Resend(dst int, tag Tag, payload *tile.Tile) {
 	idx := c.rank*cl.p + dst
 	cl.messages[idx].Add(1)
 	cl.hops[idx].Add(1)
+	cl.wireBytes[idx].Add(int64(cp.Bytes()))
 	cl.redeliveries[idx].Add(1)
 	cl.bytes[idx].Add(int64(cp.Bytes()))
 	cl.dispatch(Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: time.Now(), shared: sh})
@@ -568,9 +645,12 @@ type Stats struct {
 	Messages     [][]int64 // [src][dst], logical owner→consumer
 	Bytes        [][]int64
 	Hops         [][]int64 // [src][dst], physical wire transmissions
+	WireBytes    [][]int64 // [src][dst], bytes physically carried (one tile per hop)
 	Forwards     [][]int64 // [src][dst], tree relay hops (subset of Hops)
 	Requests     [][]int64
 	Redeliveries [][]int64
+	Reduces      [][]int64 // [src][dst], reduction-partial sends (subset of Messages)
+	ReduceBytes  [][]int64 // [src][dst], reduction-partial bytes (subset of Bytes)
 	MailboxPeak  []int
 }
 
@@ -581,26 +661,35 @@ func (c *Cluster) Stats() Stats {
 		Messages:     make([][]int64, c.p),
 		Bytes:        make([][]int64, c.p),
 		Hops:         make([][]int64, c.p),
+		WireBytes:    make([][]int64, c.p),
 		Forwards:     make([][]int64, c.p),
 		Requests:     make([][]int64, c.p),
 		Redeliveries: make([][]int64, c.p),
+		Reduces:      make([][]int64, c.p),
+		ReduceBytes:  make([][]int64, c.p),
 		MailboxPeak:  make([]int, c.p),
 	}
 	for i := 0; i < c.p; i++ {
 		s.Messages[i] = make([]int64, c.p)
 		s.Bytes[i] = make([]int64, c.p)
 		s.Hops[i] = make([]int64, c.p)
+		s.WireBytes[i] = make([]int64, c.p)
 		s.Forwards[i] = make([]int64, c.p)
 		s.Requests[i] = make([]int64, c.p)
 		s.Redeliveries[i] = make([]int64, c.p)
+		s.Reduces[i] = make([]int64, c.p)
+		s.ReduceBytes[i] = make([]int64, c.p)
 		s.MailboxPeak[i] = c.inboxes[i].highWater()
 		for j := 0; j < c.p; j++ {
 			s.Messages[i][j] = c.messages[i*c.p+j].Load()
 			s.Bytes[i][j] = c.bytes[i*c.p+j].Load()
 			s.Hops[i][j] = c.hops[i*c.p+j].Load()
+			s.WireBytes[i][j] = c.wireBytes[i*c.p+j].Load()
 			s.Forwards[i][j] = c.forwards[i*c.p+j].Load()
 			s.Requests[i][j] = c.requests[i*c.p+j].Load()
 			s.Redeliveries[i][j] = c.redeliveries[i*c.p+j].Load()
+			s.Reduces[i][j] = c.reduces[i*c.p+j].Load()
+			s.ReduceBytes[i][j] = c.reduceBytes[i*c.p+j].Load()
 		}
 	}
 	return s
@@ -670,6 +759,65 @@ func (s Stats) TotalForwards() int64 {
 		}
 	}
 	return t
+}
+
+// TotalWireBytes returns the bytes physically carried across all links —
+// equal to TotalBytes on a faithful flat-broadcast network, and diverging
+// from it only through tree relays (which re-carry the payload) and
+// redeliveries.
+func (s Stats) TotalWireBytes() int64 {
+	var t int64
+	for _, row := range s.WireBytes {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// TotalReduces returns the total number of reduction-partial sends.
+func (s Stats) TotalReduces() int64 {
+	var t int64
+	for _, row := range s.Reduces {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// TotalReduceBytes returns the total bytes of reduction partials.
+func (s Stats) TotalReduceBytes() int64 {
+	var t int64
+	for _, row := range s.ReduceBytes {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// WireSentByNode returns the bytes each node's outgoing NIC carried.
+func (s Stats) WireSentByNode() []int64 {
+	out := make([]int64, s.P)
+	for i, row := range s.WireBytes {
+		for _, v := range row {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// WireRecvByNode returns the bytes each node's incoming NIC carried — the
+// per-node communication volume the replicated distributions shrink.
+func (s Stats) WireRecvByNode() []int64 {
+	out := make([]int64, s.P)
+	for _, row := range s.WireBytes {
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
 }
 
 // SentByNode returns the number of logical messages sent by each node.

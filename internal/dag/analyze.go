@@ -63,6 +63,54 @@ func ForEachTask(g Graph, visit func(Task)) {
 				}
 			}
 		}
+	case *ReplicatedLU:
+		// Per iteration: first the reductions finalizing the panel's tiles
+		// (they consume earlier iterations' partial updates), then the panel
+		// kernels, then the trailing updates. Within one tile's reduction
+		// group, deeper binomial members combine before their parents
+		// (depth = popcount of the member index) and siblings ascend.
+		redOrder := func(n int) []int {
+			order := make([]int, 0, n-1)
+			for depth := 31; depth > 0; depth-- {
+				for s := 1; s < n; s++ {
+					if popcount(s) == depth {
+						order = append(order, s)
+					}
+				}
+			}
+			return order
+		}
+		forTile := func(k int, visitTile func(i, j int)) {
+			visitTile(k, k)
+			for i := k + 1; i < mt; i++ {
+				visitTile(i, k)
+			}
+			for j := k + 1; j < mt; j++ {
+				visitTile(k, j)
+			}
+		}
+		for l := 0; l < mt; l++ {
+			l32 := int32(l)
+			if n := gg.nRed(l) + 1; n > 1 {
+				order := redOrder(n)
+				forTile(l, func(i, j int) {
+					for _, s := range order {
+						visit(Task{Kind: ReduceAdd, L: int32(s), I: int32(i), J: int32(j)})
+					}
+				})
+			}
+			visit(Task{Kind: GETRF, L: l32, I: l32, J: l32})
+			for i := l + 1; i < mt; i++ {
+				visit(Task{Kind: TRSMCol, L: l32, I: int32(i)})
+				visit(Task{Kind: TRSMRow, L: l32, I: int32(i)})
+			}
+			for i := l + 1; i < mt; i++ {
+				for j := l + 1; j < mt; j++ {
+					visit(gg.gemmTask(l, int32(i), int32(j)))
+				}
+			}
+		}
+		return
 	case *CholeskyLeft:
 		for k := 0; k < mt; k++ {
 			k32 := int32(k)
@@ -99,6 +147,16 @@ func ForEachTask(g Graph, visit func(Task)) {
 			visit(g.TaskOf(id))
 		}
 	}
+}
+
+// popcount returns the number of set bits — the depth of a member in the
+// binomial reduce tree (each parent hop strips the lowest set bit).
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
 }
 
 // forEachSolveTask visits the solve-phase tasks in topological order:

@@ -66,6 +66,10 @@ func (k Kind) String() string {
 		return "B-publish"
 	case GemmUpd:
 		return "GEMM-acc"
+	case GEMMPart:
+		return "GEMM-part"
+	case ReduceAdd:
+		return "REDUCE"
 	default:
 		if s, ok := solveKindString(k); ok {
 			return s

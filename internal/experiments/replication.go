@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+	"anybc/internal/lowerbound"
+	"anybc/internal/simulate"
+)
+
+// ReplicationPoint is one row of the replication (2.5D) memory-for-
+// communication sweep: a replicated LU run at one replication factor c,
+// measured by the simulator's exact byte accounting and compared against the
+// memory-parameterized COnfLUX lower bound.
+type ReplicationPoint struct {
+	// C is the replication factor (1 = the unreplicated G-2DBC baseline).
+	C int `json:"c"`
+	// Nodes is the total node count, c layers × the base grid.
+	Nodes int `json:"nodes"`
+	// N and B give the matrix and tile size; Scheme names the distribution.
+	N      int    `json:"n"`
+	B      int    `json:"b"`
+	Scheme string `json:"scheme"`
+	// Messages and TotalBytes are the logical owner→consumer volume;
+	// ReduceBytes is the subset shipping reduction partials between layers.
+	Messages    int64 `json:"messages"`
+	TotalBytes  int64 `json:"total_bytes"`
+	ReduceBytes int64 `json:"reduce_bytes"`
+	// RecvMean and RecvMax are per-node received bytes — the paper-facing
+	// metric: replication must lower what each node's incoming NIC carries.
+	RecvMean float64 `json:"recv_mean"`
+	RecvMax  float64 `json:"recv_max"`
+	// BoundBytes is the memory-parameterized per-node lower bound
+	// lowerbound.LUPerNodeRepl for this configuration, in bytes.
+	BoundBytes float64 `json:"bound_bytes"`
+	// RatioToBound is RecvMean/BoundBytes — how far the measured volume sits
+	// above the coded bound (≥ 1 up to lower-order terms).
+	RatioToBound float64 `json:"ratio_to_bound"`
+	// Makespan is the simulated wall-clock seconds.
+	Makespan float64 `json:"makespan"`
+}
+
+// ReplicationSweep runs the replicated LU communication study: an mt×mt tile
+// matrix on c layers of a G-2DBC(baseP) grid for each c in cs, measured with
+// the simulator's exact accounting under the flat (point-to-point) transport.
+// Every point's per-node received volume is compared to the
+// memory-parameterized COnfLUX bound m²/√(c·Ptotal) = m²/(c·√baseP): each
+// doubling of memory should buy ~√2 less traffic per node until the grid is
+// too small to amortize the reduction shipments.
+func ReplicationSweep(cfg SimConfig, baseP, mt int, cs []int) ([]ReplicationPoint, error) {
+	base := dist.NewG2DBC(baseP)
+	m := float64(mt * cfg.B)
+	var out []ReplicationPoint
+	for _, c := range cs {
+		if c < 1 {
+			return nil, fmt.Errorf("experiments: invalid replication factor %d", c)
+		}
+		g := dag.NewReplicatedLU(mt, c)
+		d := dist.NewReplicated(base, c, mt)
+		res, err := simulate.Run(g, cfg.B, d, cfg.Machine, simulate.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var sum, max int64
+		for _, v := range res.RecvBytes {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		mean := float64(sum) / float64(d.Nodes())
+		bound := 8 * lowerbound.LUPerNodeRepl(m, d.Nodes(), c)
+		out = append(out, ReplicationPoint{
+			C: c, Nodes: d.Nodes(), N: mt * cfg.B, B: cfg.B, Scheme: d.Name(),
+			Messages: res.Messages, TotalBytes: res.Bytes, ReduceBytes: res.ReduceBytes,
+			RecvMean: mean, RecvMax: float64(max),
+			BoundBytes: bound, RatioToBound: mean / bound,
+			Makespan: res.Makespan,
+		})
+	}
+	return out, nil
+}
+
+// PinnedReplicationCase is the regression-pinned configuration of the
+// replication study (and of CI's comm-volume gate): a 16,000×16,000 matrix
+// (32×32 tiles of 500) on a G-2DBC(16) base grid — the same 16-node scale as
+// the paper-pinned studies — swept over c ∈ {1, 2, 4}.
+func PinnedReplicationCase() (cfg SimConfig, baseP, mt int, cs []int) {
+	cfg = SimConfig{B: 500, Machine: simulate.PaperMachine()}
+	return cfg, 16, 32, []int{1, 2, 4}
+}

@@ -51,6 +51,32 @@ func LUPerNode(m float64, P int) float64 {
 	return m * m / math.Sqrt(float64(P))
 }
 
+// GEMMPerNodeRepl returns the memory-parameterized per-node bound for
+// parallel matrix multiplication with replication factor c on P nodes
+// (M ≈ c·m²/P per node): the 2.5D bound Ω(m²/√(cP)) of Irony–Toledo–Tiskin,
+// with the same reference constant as GEMMPerNode. c = 1 reduces to
+// GEMMPerNode exactly; raising c buys a √c reduction until the memory-
+// independent latency floor takes over at c = P^(1/3).
+func GEMMPerNodeRepl(m float64, P, c int) float64 {
+	return 2 * m * m / math.Sqrt(float64(c)*float64(P))
+}
+
+// LUPerNodeRepl returns the memory-parameterized COnfLUX per-node bound for
+// parallel LU with replication factor c on P nodes, each holding
+// M ≈ c·m²/P words: m²/√(cP) + O(m²/P) (Kwasniewski et al.,
+// arXiv:2010.05975, Theorem 1 with the memory term M = c·m²/P). The dominant
+// term is returned; c = 1 reduces to LUPerNode exactly.
+func LUPerNodeRepl(m float64, P, c int) float64 {
+	return m * m / math.Sqrt(float64(c)*float64(P))
+}
+
+// CholeskyPerNodeRepl returns the memory-parameterized per-node bound for
+// parallel Cholesky with replication factor c: the LU bound scaled by the
+// symmetric 1/√2 factor of Beaumont et al. (SPAA 2022), m²/(√2·√(cP)).
+func CholeskyPerNodeRepl(m float64, P, c int) float64 {
+	return m * m / (math.Sqrt2 * math.Sqrt(float64(c)*float64(P)))
+}
+
 // PatternCostLU returns the lower bound on the Section III pattern cost
 // metric T = x̄ + ȳ for any balanced pattern on P nodes: every row and every
 // column must expose at least ⌈√P⌉ … more precisely the paper states that

@@ -36,6 +36,34 @@ func TestParallelBounds(t *testing.T) {
 	}
 }
 
+func TestReplicatedBounds(t *testing.T) {
+	// c = 1 reduces exactly to the unreplicated bounds.
+	for _, P := range []int{1, 4, 16, 35} {
+		if got, want := LUPerNodeRepl(100, P, 1), LUPerNode(100, P); got != want {
+			t.Errorf("LUPerNodeRepl(c=1, P=%d) = %v, want %v", P, got, want)
+		}
+		if got, want := GEMMPerNodeRepl(100, P, 1), GEMMPerNode(100, P); got != want {
+			t.Errorf("GEMMPerNodeRepl(c=1, P=%d) = %v, want %v", P, got, want)
+		}
+	}
+	// Quadrupling the memory halves each bound: the √c law.
+	for _, P := range []int{4, 16} {
+		if got, want := LUPerNodeRepl(100, P, 4), LUPerNode(100, P)/2; math.Abs(got-want) > 1e-9 {
+			t.Errorf("LUPerNodeRepl(c=4, P=%d) = %v, want %v", P, got, want)
+		}
+	}
+	// Monotone decreasing in c, and Cholesky stays √2 below LU.
+	for c := 1; c <= 8; c++ {
+		if LUPerNodeRepl(100, 16, c+1) >= LUPerNodeRepl(100, 16, c) {
+			t.Fatalf("LU bound not decreasing at c=%d", c)
+		}
+		lu, chol := LUPerNodeRepl(100, 16, c), CholeskyPerNodeRepl(100, 16, c)
+		if math.Abs(chol*math.Sqrt2-lu) > 1e-9 {
+			t.Fatalf("c=%d: Cholesky bound %v not √2 below LU %v", c, chol, lu)
+		}
+	}
+}
+
 func TestPatternCostOrdering(t *testing.T) {
 	// For every P: √P ≤ √(3P/2) ≤ √(2P)−0.5 (P ≥ ~8) ≤ √(2P) ≤ 2√P.
 	for P := 8; P <= 1000; P++ {

@@ -493,6 +493,7 @@ type engine struct {
 	rank    int
 	comm    *cluster.Comm
 	g       dag.Graph
+	redg    dag.ReduceGraph // non-nil when g schedules replication reductions
 	owner   func(i, j int) int
 	gen     func(i, j int) *tile.Tile
 	b       int
@@ -647,6 +648,7 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 		maxReq:     opt.MaxReRequests,
 		lagReq:     opt.LagReRequests,
 	}
+	e.redg, _ = g.(dag.ReduceGraph)
 	// opt.Workers is already normalized (Run is the only normalization
 	// point); direct constructors must pass a positive count.
 	e.disp = newDispatcher(e.workers)
@@ -1236,9 +1238,16 @@ func (e *engine) onComplete(idx int) {
 		}
 	})
 	if len(e.dstList) > 0 {
-		// One broadcast, one clone: every consumer node shares the same
-		// immutable payload (see cluster.SendAll).
-		e.comm.SendAll(e.dstList, netTag, out)
+		if e.redg != nil && len(e.dstList) == 1 && e.redg.ReducePartial(t) {
+			// Reduction partial: the accumulator's only remote consumer is the
+			// combine on its binomial parent's node, a point-to-point shipment
+			// counted as reduction traffic rather than a broadcast.
+			e.comm.SendReduce(e.dstList[0], netTag, out)
+		} else {
+			// One broadcast, one clone: every consumer node shares the same
+			// immutable payload (see cluster.SendAll).
+			e.comm.SendAll(e.dstList, netTag, out)
+		}
 		for _, dst := range e.dstList {
 			e.dstSeen[dst] = false
 		}

@@ -18,8 +18,12 @@ func LUKernel(t dag.Task, out *tile.Tile, inputs []*tile.Tile) error {
 		tile.Trsm(tile.Right, tile.Upper, tile.NoTrans, tile.NonUnit, 1, inputs[0], out)
 	case dag.TRSMRow:
 		tile.Trsm(tile.Left, tile.Lower, tile.NoTrans, tile.Unit, 1, inputs[0], out)
-	case dag.GEMMLU:
+	case dag.GEMMLU, dag.GEMMPart:
 		tile.Gemm(tile.NoTrans, tile.NoTrans, -1, inputs[0], inputs[1], 1, out)
+	case dag.ReduceAdd:
+		// Combine one reduction-group member: the child layer's accumulator
+		// (holding a negated partial sum) folds into this buffer by addition.
+		out.AddFrom(inputs[0])
 	default:
 		return fmt.Errorf("runtime: %v is not an LU task", t)
 	}
@@ -79,6 +83,33 @@ func FactorLU(mt, b int, d dist.Distribution, gen func(i, j int) *tile.Tile, opt
 	out := matrix.NewDense(mt, mt, b)
 	rep, err := Run(g, d, b, gen, LUKernel, opt, func(i, j int, t *tile.Tile) {
 		out.SetTile(i, j, t.Clone())
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, rep, nil
+}
+
+// FactorLUReplicated runs the replicated (2.5D-style) distributed LU
+// factorization: c layers of the base distribution's grid split the trailing
+// updates round-robin by iteration, layer accumulators are combined by
+// binomial reduction before each tile's panel kernel, and only the canonical
+// tiles are gathered into the result. With c = 1 the schedule — and hence the
+// factored matrix, bit for bit — is that of FactorLU on base.
+func FactorLUReplicated(mt, b, c int, base dist.Distribution, gen func(i, j int) *tile.Tile, opt Options) (*matrix.Dense, *Report, error) {
+	g := dag.NewReplicatedLU(mt, c)
+	d := dist.NewReplicated(base, c, mt)
+	repGen := func(i, j int) *tile.Tile {
+		if j >= mt {
+			return tile.New(b, b) // layer accumulator: starts at zero
+		}
+		return gen(i, j)
+	}
+	out := matrix.NewDense(mt, mt, b)
+	rep, err := Run(g, d, b, repGen, LUKernel, opt, func(i, j int, t *tile.Tile) {
+		if j < mt { // accumulators are scratch, not part of the factors
+			out.SetTile(i, j, t.Clone())
+		}
 	})
 	if err != nil {
 		return nil, nil, err

@@ -36,7 +36,9 @@ func kindOrder(k dag.Kind) int64 {
 	switch k {
 	case dag.GETRF, dag.POTRF:
 		return 0
-	case dag.TRSMCol, dag.TRSMRow, dag.TRSMChol:
+	case dag.TRSMCol, dag.TRSMRow, dag.TRSMChol, dag.ReduceAdd:
+		// A replicated run's reduction combines gate the panel kernels of
+		// their tile's iteration exactly like the solves gate the updates.
 		return 1
 	case dag.SYRK:
 		return 2
@@ -78,7 +80,17 @@ func Key(t dag.Task) int64 {
 	if sub >= 1<<subBits {
 		sub = 1<<subBits - 1
 	}
-	return (int64(t.L)*4+kindOrder(t.Kind))<<subBits | sub
+	iter := int64(t.L)
+	if t.Kind == dag.ReduceAdd {
+		// A combine's L field is its index in the tile's reduction group,
+		// not an iteration; the iteration it unblocks is the tile's panel
+		// step min(I, J).
+		iter = int64(t.I)
+		if int64(t.J) < iter {
+			iter = int64(t.J)
+		}
+	}
+	return (iter*4+kindOrder(t.Kind))<<subBits | sub
 }
 
 // Key returns the dispatch key of t under policy p.

@@ -78,6 +78,7 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 	if sized, ok := g.(dag.SizedGraph); ok && opt.TileBytes == 0 {
 		sizeOf = func(t dag.Task) int { return sized.OutputBytes(t, b) }
 	}
+	redg, _ := g.(dag.ReduceGraph)
 	speed := func(node int) float64 { return 1 }
 	if opt.NodeSpeed != nil {
 		if len(opt.NodeSpeed) != P {
@@ -245,6 +246,13 @@ func Run(g dag.Graph, b int, d dist.Distribution, m Machine, opt Options) (*Resu
 				msgBytes := sizeOf(t)
 				result.Messages += int64(len(sentTo))
 				result.Bytes += int64(msgBytes) * int64(len(sentTo))
+				if redg != nil && len(sentTo) == 1 && redg.ReducePartial(t) {
+					// Reduction partial shipping to its binomial parent — the
+					// same single-destination routing the real runtime's
+					// Comm.SendReduce takes, counted identically.
+					result.Reduces++
+					result.ReduceBytes += int64(msgBytes)
+				}
 				if opt.Broadcast == cluster.BroadcastTree && len(sentTo) > 1 {
 					children, subtrees := cluster.TreeFanout(sentTo)
 					for i, child := range children {

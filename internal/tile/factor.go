@@ -54,6 +54,7 @@ func Getrf(a *Tile) error {
 // square tiles of size b, as used by the simulator's machine model. Values
 // follow the standard LAPACK conventions.
 func FlopsGemm(b int) float64  { n := float64(b); return 2 * n * n * n }
+func FlopsGeadd(b int) float64 { n := float64(b); return n * n }
 func FlopsSyrk(b int) float64  { n := float64(b); return n * n * (n + 1) }
 func FlopsTrsm(b int) float64  { n := float64(b); return n * n * n }
 func FlopsPotrf(b int) float64 { n := float64(b); return n * n * n / 3 }
