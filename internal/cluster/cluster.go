@@ -42,9 +42,19 @@ import (
 // (after the panel kernel of iteration min(i, j)), but graphs that consume a
 // tile remotely at several epochs are served too: each epoch travels under
 // its own tag, so consumers can distinguish the versions.
+//
+// Job is the tile-namespace epoch of the multi-tenant service: every message
+// of one factorization job travels under that job's id, so two concurrent
+// jobs' tiles can never collide even when both factor the same coordinates
+// at the same versions. The field is a wire-protocol concern, not an
+// application one — job-scoped endpoints (JobComm) stamp it on every send and
+// strip it again on delivery, so engines keep working in plain (I, J, V)
+// coordinates while the cluster routes each message to its job's private
+// plane of mailboxes and counters.
 type Tag struct {
 	I, J int32
 	V    int32
+	Job  int32
 }
 
 // Message is one tile in flight. SentAt is the wall-clock instant the sender
@@ -247,9 +257,12 @@ type Options struct {
 	Broadcast BroadcastMode
 }
 
-// Cluster is a set of P virtual nodes with an all-to-all network.
-type Cluster struct {
-	p            int
+// plane is one job's private slice of the cluster: its own mailboxes and its
+// own traffic counters. Every concurrent factorization job runs on its own
+// plane over the shared node set, so jobs can never read each other's tiles,
+// aborting one job poisons only its plane, and every per-job Report keeps the
+// exact Equation (1)/(2) accounting a dedicated cluster would have produced.
+type plane struct {
 	inboxes      []*mailbox
 	messages     []atomic.Int64 // p*p logical counters, src*p+dst (owner→consumer)
 	bytes        []atomic.Int64
@@ -260,9 +273,46 @@ type Cluster struct {
 	redeliveries []atomic.Int64 // payload re-sends answered by owners
 	reduces      []atomic.Int64 // reduction-partial sends (subset of messages)
 	reduceBytes  []atomic.Int64 // bytes of reduction partials (subset of bytes)
-	net          Network        // nil on a fault-free cluster
-	broadcast    BroadcastMode
-	pool         tile.Pool // recycles send clones released by receivers
+}
+
+func newPlane(p int) *plane {
+	pl := &plane{
+		inboxes:      make([]*mailbox, p),
+		messages:     make([]atomic.Int64, p*p),
+		bytes:        make([]atomic.Int64, p*p),
+		hops:         make([]atomic.Int64, p*p),
+		wireBytes:    make([]atomic.Int64, p*p),
+		forwards:     make([]atomic.Int64, p*p),
+		requests:     make([]atomic.Int64, p*p),
+		redeliveries: make([]atomic.Int64, p*p),
+		reduces:      make([]atomic.Int64, p*p),
+		reduceBytes:  make([]atomic.Int64, p*p),
+	}
+	for i := range pl.inboxes {
+		pl.inboxes[i] = newMailbox()
+	}
+	return pl
+}
+
+func (pl *plane) close() {
+	for _, m := range pl.inboxes {
+		m.close()
+	}
+}
+
+// Cluster is a set of P virtual nodes with an all-to-all network. A cluster
+// hosts one or more tag-namespace planes: single-job callers use the default
+// plane (job 0) through Comm and never see the distinction, while the
+// multi-tenant service opens one plane per factorization job through JobComm
+// and multiplexes many concurrent DAGs over the same P nodes, network seam,
+// and send-buffer pool.
+type Cluster struct {
+	p         int
+	planes    sync.Map    // int32 job id -> *plane, created lazily by JobComm
+	closed    atomic.Bool // set by Close; late-created planes are born closed
+	net       Network     // nil on a fault-free cluster
+	broadcast BroadcastMode
+	pool      tile.Pool // recycles send clones released by receivers
 }
 
 // New creates a cluster of p nodes with a faithful (fault-free) network.
@@ -283,28 +333,40 @@ func NewWithOptions(p int, opt Options) *Cluster {
 		panic(fmt.Sprintf("cluster: invalid node count %d", p))
 	}
 	c := &Cluster{
-		p:            p,
-		inboxes:      make([]*mailbox, p),
-		messages:     make([]atomic.Int64, p*p),
-		bytes:        make([]atomic.Int64, p*p),
-		hops:         make([]atomic.Int64, p*p),
-		wireBytes:    make([]atomic.Int64, p*p),
-		forwards:     make([]atomic.Int64, p*p),
-		requests:     make([]atomic.Int64, p*p),
-		redeliveries: make([]atomic.Int64, p*p),
-		reduces:      make([]atomic.Int64, p*p),
-		reduceBytes:  make([]atomic.Int64, p*p),
-		net:          opt.Net,
-		broadcast:    opt.Broadcast,
-	}
-	for i := range c.inboxes {
-		c.inboxes[i] = newMailbox()
+		p:         p,
+		net:       opt.Net,
+		broadcast: opt.Broadcast,
 	}
 	return c
 }
 
 // Broadcast returns the cluster's broadcast transport mode.
 func (c *Cluster) Broadcast() BroadcastMode { return c.broadcast }
+
+// plane returns job's plane, creating it on first use. A plane created after
+// (or concurrently with) Close is closed immediately — plane.close is
+// idempotent — so a receiver racing the cluster's teardown can never block
+// on a mailbox no one will ever close.
+func (c *Cluster) plane(job int32) *plane {
+	if pl, ok := c.planes.Load(job); ok {
+		return pl.(*plane)
+	}
+	pl, _ := c.planes.LoadOrStore(job, newPlane(c.p))
+	if c.closed.Load() {
+		pl.(*plane).close()
+	}
+	return pl.(*plane)
+}
+
+// planeIfExists returns job's plane without creating one: deliveries to a
+// job that was never opened — or was dropped after finishing — must not
+// resurrect it.
+func (c *Cluster) planeIfExists(job int32) *plane {
+	if pl, ok := c.planes.Load(job); ok {
+		return pl.(*plane)
+	}
+	return nil
+}
 
 // dispatch hands one message to the network seam (or straight to the
 // destination mailbox on a faithful cluster).
@@ -316,10 +378,12 @@ func (c *Cluster) dispatch(msg Message) {
 	c.deliver(msg)
 }
 
-// deliver enqueues msg at its destination, releasing the payload share when
-// the mailbox is already closed (shutdown or abort).
+// deliver enqueues msg at its destination — the mailbox of rank msg.To on
+// the plane named by the tag's job epoch — releasing the payload share when
+// the plane is gone or the mailbox already closed (shutdown or abort).
 func (c *Cluster) deliver(msg Message) {
-	if !c.inboxes[msg.To].put(msg) {
+	pl := c.planeIfExists(msg.Tag.Job)
+	if pl == nil || !pl.inboxes[msg.To].put(msg) {
 		msg.Release()
 	}
 }
@@ -327,25 +391,70 @@ func (c *Cluster) deliver(msg Message) {
 // Nodes returns P.
 func (c *Cluster) Nodes() int { return c.p }
 
-// Comm returns the endpoint of node rank.
+// Comm returns the endpoint of node rank on the default plane (job 0) — the
+// single-job view every pre-service caller uses.
 func (c *Cluster) Comm(rank int) *Comm {
+	return c.JobComm(0, rank)
+}
+
+// JobComm returns the endpoint of node rank scoped to the given job's tag
+// namespace: every send stamps the job epoch into the wire tag, every
+// receive strips it again, and Recv sees only this job's messages. Opening
+// the first endpoint of a job creates its plane.
+func (c *Cluster) JobComm(job int32, rank int) *Comm {
 	if rank < 0 || rank >= c.p {
 		panic(fmt.Sprintf("cluster: invalid rank %d", rank))
 	}
-	return &Comm{cluster: c, rank: rank}
+	return &Comm{cluster: c, rank: rank, job: job, pl: c.plane(job)}
 }
 
-// Close shuts every mailbox down, releasing blocked receivers.
+// Close shuts every mailbox of every plane down, releasing blocked
+// receivers. Used at cluster teardown; to end a single job on a shared
+// cluster, use CloseJob.
 func (c *Cluster) Close() {
-	for _, m := range c.inboxes {
-		m.close()
+	c.closed.Store(true)
+	c.planes.Range(func(_, pl any) bool {
+		pl.(*plane).close()
+		return true
+	})
+}
+
+// CloseJob shuts down one job's plane: its mailboxes close, so that job's
+// blocked receivers wake up while every other tenant keeps running
+// untouched. Idempotent; a job that was never opened is a no-op. The plane's
+// counters survive for JobStats until DropJob.
+func (c *Cluster) CloseJob(job int32) {
+	if pl := c.planeIfExists(job); pl != nil {
+		pl.close()
 	}
 }
 
-// Comm is one node's endpoint: its rank and its view of the network.
+// DropJob removes a closed job's plane entirely, freeing its mailboxes and
+// counters; late deliveries addressed to a dropped job release their payload
+// shares back to the pool. Call only after the job's Stats have been
+// archived — a long-lived service that never dropped finished jobs would
+// leak one counter block per job served.
+func (c *Cluster) DropJob(job int32) {
+	c.CloseJob(job)
+	c.planes.Delete(job)
+}
+
+// PoolOutstanding returns the number of send-buffer tiles currently drawn
+// from the cluster's pool and not yet released (see tile.Pool.Outstanding).
+// After every job on the cluster has finished or been cancelled and its
+// receivers drained, the balance returns to zero; a persistent residue is a
+// leaked payload share.
+func (c *Cluster) PoolOutstanding() int64 {
+	return c.pool.Outstanding()
+}
+
+// Comm is one node's endpoint: its rank, its job's tag namespace, and its
+// view of the network.
 type Comm struct {
 	cluster *Cluster
 	rank    int
+	job     int32
+	pl      *plane
 }
 
 // Rank returns this endpoint's node id.
@@ -382,6 +491,7 @@ func (c *Comm) SendAll(dsts []int, tag Tag, payload *tile.Tile) {
 
 func (c *Comm) sendAll(dsts []int, tag Tag, payload *tile.Tile) {
 	cl := c.cluster
+	tag.Job = c.job // namespace the wire tag; receivers strip it in Recv
 	// Validate the full destination list before cloning or dispatching
 	// anything: a panic here must leave no pooled clone with a refcount the
 	// receivers can never drain, and no partially delivered broadcast.
@@ -407,8 +517,8 @@ func (c *Comm) sendAll(dsts []int, tag Tag, payload *tile.Tile) {
 	bytes := int64(cp.Bytes())
 	for _, dst := range dsts {
 		idx := c.rank*cl.p + dst
-		cl.messages[idx].Add(1)
-		cl.bytes[idx].Add(bytes)
+		c.pl.messages[idx].Add(1)
+		c.pl.bytes[idx].Add(bytes)
 	}
 	if cl.broadcast == BroadcastTree && len(dsts) > 1 {
 		// The Forward subtrees ride inside in-flight messages long after this
@@ -420,8 +530,8 @@ func (c *Comm) sendAll(dsts []int, tag Tag, payload *tile.Tile) {
 		sh.refs.Store(int32(len(children)))
 		for i, child := range children {
 			idx := c.rank*cl.p + child
-			cl.hops[idx].Add(1)
-			cl.wireBytes[idx].Add(bytes)
+			c.pl.hops[idx].Add(1)
+			c.pl.wireBytes[idx].Add(bytes)
 			cl.dispatch(Message{From: c.rank, To: child, Tag: tag, Payload: cp,
 				SentAt: now, Forward: subtrees[i], shared: sh})
 		}
@@ -430,8 +540,8 @@ func (c *Comm) sendAll(dsts []int, tag Tag, payload *tile.Tile) {
 	sh.refs.Store(int32(len(dsts)))
 	for _, dst := range dsts {
 		idx := c.rank*cl.p + dst
-		cl.hops[idx].Add(1)
-		cl.wireBytes[idx].Add(bytes)
+		c.pl.hops[idx].Add(1)
+		c.pl.wireBytes[idx].Add(bytes)
 		cl.dispatch(Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: now, shared: sh})
 	}
 }
@@ -454,17 +564,18 @@ func (c *Comm) SendReduce(dst int, tag Tag, payload *tile.Tile) {
 	if dst < 0 || dst >= cl.p {
 		panic(fmt.Sprintf("cluster: destination %d outside the %d-node cluster", dst, cl.p))
 	}
+	tag.Job = c.job
 	cp := cl.pool.Clone(payload)
 	sh := &sharedPayload{pool: &cl.pool, t: cp}
 	sh.refs.Store(1)
 	bytes := int64(cp.Bytes())
 	idx := c.rank*cl.p + dst
-	cl.messages[idx].Add(1)
-	cl.bytes[idx].Add(bytes)
-	cl.hops[idx].Add(1)
-	cl.wireBytes[idx].Add(bytes)
-	cl.reduces[idx].Add(1)
-	cl.reduceBytes[idx].Add(bytes)
+	c.pl.messages[idx].Add(1)
+	c.pl.bytes[idx].Add(bytes)
+	c.pl.hops[idx].Add(1)
+	c.pl.wireBytes[idx].Add(bytes)
+	c.pl.reduces[idx].Add(1)
+	c.pl.reduceBytes[idx].Add(bytes)
 	cl.dispatch(Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: time.Now(), shared: sh})
 }
 
@@ -522,11 +633,12 @@ func (c *Comm) Forward(msg Message) int {
 	now := time.Now()
 	for i, child := range children {
 		idx := c.rank*cl.p + child
-		cl.hops[idx].Add(1)
-		cl.wireBytes[idx].Add(int64(msg.Payload.Bytes()))
-		cl.forwards[idx].Add(1)
+		c.pl.hops[idx].Add(1)
+		c.pl.wireBytes[idx].Add(int64(msg.Payload.Bytes()))
+		c.pl.forwards[idx].Add(1)
 		hop := msg.Dup()
 		hop.From, hop.To, hop.SentAt, hop.Forward = c.rank, child, now, subtrees[i]
+		hop.Tag.Job = c.job // Recv stripped the namespace; restore it for the wire
 		cl.dispatch(hop)
 	}
 	return len(children)
@@ -564,7 +676,8 @@ func (c *Comm) Request(owner int, tag Tag) {
 		panic("cluster: self-request; local tiles are never re-requested")
 	}
 	cl := c.cluster
-	cl.requests[c.rank*cl.p+owner].Add(1)
+	tag.Job = c.job
+	c.pl.requests[c.rank*cl.p+owner].Add(1)
 	cl.dispatch(Message{From: c.rank, To: owner, Tag: tag, Req: true, SentAt: time.Now()})
 }
 
@@ -586,7 +699,8 @@ func (c *Comm) Notify(kind NoteKind, subject int) {
 		if dst == c.rank {
 			continue
 		}
-		cl.deliver(Message{From: c.rank, To: dst, Note: kind, NoteRank: subject, SentAt: now})
+		cl.deliver(Message{From: c.rank, To: dst, Tag: Tag{Job: c.job},
+			Note: kind, NoteRank: subject, SentAt: now})
 	}
 }
 
@@ -601,30 +715,37 @@ func (c *Comm) Resend(dst int, tag Tag, payload *tile.Tile) {
 		panic("cluster: self-send; local data must not go through the network")
 	}
 	cl := c.cluster
+	tag.Job = c.job
 	cp := cl.pool.Clone(payload)
 	sh := &sharedPayload{pool: &cl.pool, t: cp}
 	sh.refs.Store(1)
 	idx := c.rank*cl.p + dst
-	cl.messages[idx].Add(1)
-	cl.hops[idx].Add(1)
-	cl.wireBytes[idx].Add(int64(cp.Bytes()))
-	cl.redeliveries[idx].Add(1)
-	cl.bytes[idx].Add(int64(cp.Bytes()))
+	c.pl.messages[idx].Add(1)
+	c.pl.hops[idx].Add(1)
+	c.pl.wireBytes[idx].Add(int64(cp.Bytes()))
+	c.pl.redeliveries[idx].Add(1)
+	c.pl.bytes[idx].Add(int64(cp.Bytes()))
 	cl.dispatch(Message{From: c.rank, To: dst, Tag: tag, Payload: cp, SentAt: time.Now(), shared: sh})
 }
 
-// Abort poisons the whole cluster: every mailbox closes, so all blocked
-// receivers on every node wake up with ok == false. The runtime uses this to
-// propagate a kernel failure — peers waiting for tiles that will never be
-// produced must not hang. Idempotent, and equivalent to Cluster.Close.
+// Abort poisons this endpoint's job: every mailbox of the job's plane
+// closes, so all the job's blocked receivers on every node wake up with
+// ok == false — while other jobs sharing the cluster keep running untouched.
+// The runtime uses this to propagate a kernel failure — peers waiting for
+// tiles that will never be produced must not hang. Idempotent; on a
+// single-job cluster it is equivalent to Cluster.Close.
 func (c *Comm) Abort() {
-	c.cluster.Close()
+	c.pl.close()
 }
 
-// Recv blocks until a message arrives; ok is false once the cluster is
-// closed and the mailbox drained.
+// Recv blocks until a message of this endpoint's job arrives; ok is false
+// once the job's plane is closed and the mailbox drained. The job epoch is
+// stripped from the delivered tag: receivers work in the job-local (I, J, V)
+// namespace, and only the wire carries the job id.
 func (c *Comm) Recv() (Message, bool) {
-	return c.cluster.inboxes[c.rank].get()
+	msg, ok := c.pl.inboxes[c.rank].get()
+	msg.Tag.Job = 0
+	return msg, ok
 }
 
 // Stats is a snapshot of the traffic counters. Messages counts every tile
@@ -654,8 +775,18 @@ type Stats struct {
 	MailboxPeak  []int
 }
 
-// Stats snapshots the per-pair traffic counters.
+// Stats snapshots the per-pair traffic counters of the default plane
+// (job 0) — the whole cluster's traffic for every single-job caller.
 func (c *Cluster) Stats() Stats {
+	return c.JobStats(0)
+}
+
+// JobStats snapshots the per-pair traffic counters of one job's plane: the
+// exact accounting a dedicated cluster would have produced for that job,
+// unpolluted by its co-tenants. A job that was never opened returns zeroed
+// counters.
+func (c *Cluster) JobStats(job int32) Stats {
+	pl := c.planeIfExists(job)
 	s := Stats{
 		P:            c.p,
 		Messages:     make([][]int64, c.p),
@@ -679,17 +810,20 @@ func (c *Cluster) Stats() Stats {
 		s.Redeliveries[i] = make([]int64, c.p)
 		s.Reduces[i] = make([]int64, c.p)
 		s.ReduceBytes[i] = make([]int64, c.p)
-		s.MailboxPeak[i] = c.inboxes[i].highWater()
+		if pl == nil {
+			continue
+		}
+		s.MailboxPeak[i] = pl.inboxes[i].highWater()
 		for j := 0; j < c.p; j++ {
-			s.Messages[i][j] = c.messages[i*c.p+j].Load()
-			s.Bytes[i][j] = c.bytes[i*c.p+j].Load()
-			s.Hops[i][j] = c.hops[i*c.p+j].Load()
-			s.WireBytes[i][j] = c.wireBytes[i*c.p+j].Load()
-			s.Forwards[i][j] = c.forwards[i*c.p+j].Load()
-			s.Requests[i][j] = c.requests[i*c.p+j].Load()
-			s.Redeliveries[i][j] = c.redeliveries[i*c.p+j].Load()
-			s.Reduces[i][j] = c.reduces[i*c.p+j].Load()
-			s.ReduceBytes[i][j] = c.reduceBytes[i*c.p+j].Load()
+			s.Messages[i][j] = pl.messages[i*c.p+j].Load()
+			s.Bytes[i][j] = pl.bytes[i*c.p+j].Load()
+			s.Hops[i][j] = pl.hops[i*c.p+j].Load()
+			s.WireBytes[i][j] = pl.wireBytes[i*c.p+j].Load()
+			s.Forwards[i][j] = pl.forwards[i*c.p+j].Load()
+			s.Requests[i][j] = pl.requests[i*c.p+j].Load()
+			s.Redeliveries[i][j] = pl.redeliveries[i*c.p+j].Load()
+			s.Reduces[i][j] = pl.reduces[i*c.p+j].Load()
+			s.ReduceBytes[i][j] = pl.reduceBytes[i*c.p+j].Load()
 		}
 	}
 	return s

@@ -134,7 +134,7 @@ func TestSendAllTreeDelivers(t *testing.T) {
 // tryRecv drains one message from a node's mailbox without blocking forever:
 // everything this test awaits has already been dispatched synchronously.
 func tryRecv(c *Cluster, node int) (Message, bool) {
-	inbox := c.inboxes[node]
+	inbox := c.plane(0).inboxes[node]
 	inbox.mu.Lock()
 	defer inbox.mu.Unlock()
 	if len(inbox.queue) == 0 {

@@ -120,6 +120,17 @@ func (s *SymmetricLower) Tile(i, j int) *tile.Tile {
 // Rows returns the global element dimension.
 func (s *SymmetricLower) Rows() int { return s.MT * s.B }
 
+// FrobeniusNorm returns the Frobenius norm over the stored lower-triangle
+// elements (the factor L's norm, not the mirrored full matrix's).
+func (s *SymmetricLower) FrobeniusNorm() float64 {
+	sum := 0.0
+	for _, t := range s.tiles {
+		n := t.FrobeniusNorm()
+		sum += n * n
+	}
+	return math.Sqrt(sum)
+}
+
 // At returns global element (gi, gj), mirroring the upper triangle.
 func (s *SymmetricLower) At(gi, gj int) float64 {
 	if gi < gj {

@@ -305,7 +305,7 @@ func (e *engine) adoptTasks(tasks []dag.Task, demote bool) int {
 		e.owned = append(e.owned, t)
 		e.localIdx[id] = idx
 		e.adoptedSet[id] = true
-		key := sched.Key(t)
+		key := sched.Band(sched.Key(t), e.band)
 		if demote {
 			key = sched.Demote(key)
 		}

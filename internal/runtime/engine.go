@@ -88,6 +88,7 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -121,6 +122,13 @@ var ErrPeerAborted = errors.New("aborted: a peer node failed")
 // fails descriptively instead — or, under Options.Elastic, presumes the
 // owner dead and adopts its work rather than failing at all.
 var ErrUndelivered = errors.New("tile version undelivered: re-request retry budget exhausted")
+
+// ErrCanceled is the error Run returns when Options.Context was cancelled
+// before the run completed: the job's cluster plane was poisoned, every
+// engine wound down, and the partial factors were discarded. It wraps
+// context.Canceled (and the deadline variant satisfies errors.Is against
+// context.DeadlineExceeded through the joined cause).
+var ErrCanceled = errors.New("run canceled")
 
 // Options tunes the engine.
 type Options struct {
@@ -187,6 +195,37 @@ type Options struct {
 	// first wins; the other drops as an idempotent duplicate. Zero disables
 	// speculation.
 	LagReRequests int
+	// Cluster, when non-nil, runs the job over this existing shared cluster
+	// instead of creating a private one: the engines use the job-scoped
+	// endpoints of Job (cluster.JobComm), so many concurrent Runs multiplex
+	// one substrate — the multi-tenant service's mode. The cluster's node
+	// count must equal the distribution's. The run closes only its own job
+	// plane when it finishes (or aborts, or is cancelled); the shared
+	// cluster and its other tenants stay up. The broadcast mode and network
+	// seam come from the shared cluster, so Options.Broadcast and the
+	// delivery side of Options.Chaos are ignored — chaos crash injection
+	// (CrashTask) still applies per job. The caller is responsible for
+	// cluster.DropJob once it has archived the job's Report.
+	Cluster *cluster.Cluster
+	// Job is this run's tile-namespace epoch on the shared Cluster: every
+	// message travels under it, so concurrent jobs' identically-numbered
+	// tiles can never collide. Ignored (effectively 0) without Cluster.
+	Job int32
+	// Context, when non-nil, is the run's cancellation seam: once it is
+	// done, the run aborts — the job's cluster plane is poisoned exactly as
+	// by comm.Abort, every engine winds down promptly, all in-flight pooled
+	// payloads drain back to the cluster pool, and Run returns ErrCanceled.
+	// On a shared cluster only this job's namespace is poisoned; other
+	// tenants are untouched.
+	Context context.Context
+	// PriorityBand places every task key of this run in a cross-job
+	// scheduler priority band (sched.Band): band 0 — the default — is the
+	// most urgent, higher bands sort strictly after every lower band while
+	// preserving their internal critical-path order. The multi-tenant
+	// service maps job priorities to bands so co-scheduled jobs' tasks
+	// order consistently wherever they meet one queue. Must lie in
+	// [0, sched.MaxBand].
+	PriorityBand int
 }
 
 // Report summarizes one distributed execution.
@@ -297,6 +336,9 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 	if opt.Workers <= 0 {
 		opt.Workers = 1
 	}
+	if opt.PriorityBand < 0 || opt.PriorityBand > sched.MaxBand {
+		return nil, fmt.Errorf("runtime: priority band %d outside [0, %d]", opt.PriorityBand, sched.MaxBand)
+	}
 	ver, err := prevalidate(g, d)
 	if err != nil {
 		return nil, err
@@ -321,7 +363,22 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		// underneath it.
 		opt.ArrivalTimeout = 250 * time.Millisecond
 	}
-	cl := cluster.NewWithOptions(P, cluster.Options{Net: net, Broadcast: opt.Broadcast})
+	shared := opt.Cluster != nil
+	var cl *cluster.Cluster
+	if shared {
+		cl = opt.Cluster
+		if cl.Nodes() != P {
+			return nil, fmt.Errorf("runtime: distribution %s wants %d nodes but the shared cluster has %d",
+				d.Name(), P, cl.Nodes())
+		}
+		// The substrate is the shared cluster's: its broadcast transport and
+		// network seam apply to every tenant. Per-job chaos still injects
+		// crashes (CrashTask), but its delivery faults would need the seam.
+		opt.Broadcast = cl.Broadcast()
+	} else {
+		opt.Job = 0
+		cl = cluster.NewWithOptions(P, cluster.Options{Net: net, Broadcast: opt.Broadcast})
+	}
 
 	start := time.Now()
 	if opt.Chaos != nil && opt.Recorder != nil {
@@ -329,7 +386,24 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 	}
 	engines := make([]*engine, P)
 	for rank := 0; rank < P; rank++ {
-		engines[rank] = newEngine(rank, cl.Comm(rank), g, d, b, gen, kern, opt, ver, start)
+		engines[rank] = newEngine(rank, cl.JobComm(opt.Job, rank), g, d, b, gen, kern, opt, ver, start)
+	}
+
+	// Cancellation seam: a context that ends before the run does poisons
+	// this job's plane — exactly comm.Abort's failure surface, so every
+	// engine winds down through the ordinary abort path and, on a shared
+	// cluster, no other tenant notices.
+	runDone := make(chan struct{})
+	var cancelled atomic.Bool
+	if opt.Context != nil {
+		go func() {
+			select {
+			case <-opt.Context.Done():
+				cancelled.Store(true)
+				cl.CloseJob(opt.Job)
+			case <-runDone:
+			}
+		}()
 	}
 
 	var wg sync.WaitGroup
@@ -342,12 +416,17 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		}(rank)
 	}
 	wg.Wait()
+	close(runDone)
 	if opt.Chaos != nil {
 		// Release any reorder holds still parked in the fault plan so their
 		// payload shares drain before the pool is abandoned.
 		opt.Chaos.Flush()
 	}
-	cl.Close()
+	if shared {
+		cl.CloseJob(opt.Job)
+	} else {
+		cl.Close()
+	}
 	elapsed := time.Since(start)
 
 	// Report every node's failure, not just the lowest rank's. Nodes that
@@ -366,6 +445,13 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 		}
 		nodeErrs = append(nodeErrs, fmt.Errorf("node %d: %w", rank, err))
 	}
+	if cancelled.Load() && (len(nodeErrs) > 0 || peerAborts > 0) {
+		// The context ended the run: the nodes' ErrPeerAborted noise is the
+		// cancellation's own doing, so report the cancellation itself. A run
+		// that happened to finish cleanly before the poison landed (no node
+		// errors at all) still counts as completed, not cancelled.
+		return nil, fmt.Errorf("runtime: %w: %w", ErrCanceled, context.Cause(opt.Context))
+	}
 	if len(nodeErrs) == 0 && peerAborts > 0 {
 		// Should not happen (some node poisoned the cluster), but never
 		// swallow an abort silently.
@@ -379,7 +465,7 @@ func Run(g dag.Graph, d dist.Distribution, b int,
 	}
 
 	rep := &Report{
-		Stats:                cl.Stats(),
+		Stats:                cl.JobStats(opt.Job),
 		TasksPerNode:         make([]int, P),
 		FlopsPerNode:         make([]float64, P),
 		OwnedTilesPerNode:    make([]int, P),
@@ -499,6 +585,7 @@ type engine struct {
 	b       int
 	kern    Kernel
 	workers int
+	band    int     // cross-job priority band applied to every task key
 	ver     []int32 // per-task output versions (shared, read-only)
 	rec     *trace.Recorder
 	epoch   time.Time
@@ -629,6 +716,7 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 		b:          b,
 		kern:       kern,
 		workers:    opt.Workers,
+		band:       opt.PriorityBand,
 		ver:        ver,
 		rec:        opt.Recorder,
 		epoch:      epoch,
@@ -696,7 +784,7 @@ func newEngine(rank int, comm *cluster.Comm, g dag.Graph, d dist.Distribution,
 	e.ins = make([][]inputRef, len(e.owned))
 	e.keys = make([]int64, len(e.owned))
 	for idx, t := range e.owned {
-		e.keys[idx] = sched.Key(t)
+		e.keys[idx] = sched.Band(sched.Key(t), e.band)
 		e.remaining[idx] = int32(e.g.NumDependencies(t))
 		e.g.Dependencies(t, func(dep dag.Task) {
 			di, dj := e.g.OutputTile(dep)
@@ -1006,6 +1094,15 @@ func (e *engine) run() error {
 	}
 	e.disp.close()
 	workerWG.Wait()
+	// An aborted (or cancelled, or crashed) run leaves received tiles
+	// retained in recv whose consumer tasks will never execute; the workers
+	// are joined, so release them here or their pooled buffers leak — on a
+	// shared cluster, permanently. A completed run's last-reader release
+	// already emptied the map, making this a no-op.
+	for tag, m := range e.recv {
+		m.Release()
+		delete(e.recv, tag)
+	}
 	// Absorb (and release) any late messages until the cluster is closed, so
 	// remote senders and our receiver goroutine can always make progress. In
 	// resilient mode this absorber doubles as the late request server: a

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"anybc/internal/core"
+	"anybc/internal/dag"
+	"anybc/internal/dist"
+)
+
+// PatternCache memoizes the expensive precomputation shared by jobs of the
+// same shape, keyed on (scheme, P) for distributions and (kind, mt) for task
+// graphs — together the (scheme, P, mt) key of a job. Distributions depend
+// only on the scheme and node count (for GCR&M a full pattern search, the
+// patterndb workload), and the structural DAGs only on the algorithm and
+// tile count; both are immutable after construction, so one instance serves
+// any number of concurrent jobs. With Dir set, GCR&M patterns are first
+// looked up in a cmd/patterndb database directory (gcrm-%04d.pattern files)
+// before falling back to an in-process search, so a service pointed at a
+// prebuilt database never pays the search even on a cold cache.
+type PatternCache struct {
+	// Dir is an optional cmd/patterndb database directory for GCR&M.
+	Dir string
+
+	mu     sync.Mutex
+	dists  map[string]dist.Distribution
+	graphs map[string]dag.Graph
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Dist returns the distribution for scheme on P nodes, constructing and
+// caching it on first use. Construction errors (unknown scheme, node counts
+// a scheme cannot serve) are returned verbatim — and not cached, so a
+// transient patterndb read error does not poison the key.
+func (c *PatternCache) Dist(scheme string, P int) (dist.Distribution, error) {
+	key := fmt.Sprintf("%s|%d", strings.ToLower(scheme), P)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.dists[key]; ok {
+		c.hits.Add(1)
+		return d, nil
+	}
+	c.misses.Add(1)
+	var d dist.Distribution
+	var err error
+	if c.Dir != "" && core.Scheme(strings.ToLower(scheme)) == core.GCRM {
+		if d, err = core.FromDB(c.Dir, P); err != nil {
+			d, err = core.New(core.Scheme(scheme), P, core.Options{})
+		}
+	} else {
+		d, err = core.New(core.Scheme(scheme), P, core.Options{})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.dists == nil {
+		c.dists = make(map[string]dist.Distribution)
+	}
+	c.dists[key] = d
+	return d, nil
+}
+
+// Graph returns the task DAG for kind ("lu" or "cholesky") on an mt×mt tile
+// matrix, constructing and caching it on first use. Unknown kinds return an
+// error; Submit validates the kind before jobs reach here.
+func (c *PatternCache) Graph(kind string, mt int) (dag.Graph, error) {
+	key := fmt.Sprintf("%s|%d", kind, mt)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.graphs[key]; ok {
+		c.hits.Add(1)
+		return g, nil
+	}
+	c.misses.Add(1)
+	var g dag.Graph
+	switch kind {
+	case KindLU:
+		g = dag.NewLU(mt)
+	case KindCholesky:
+		g = dag.NewCholesky(mt)
+	default:
+		return nil, fmt.Errorf("serve: unknown job kind %q", kind)
+	}
+	if c.graphs == nil {
+		c.graphs = make(map[string]dag.Graph)
+	}
+	c.graphs[key] = g
+	return g, nil
+}
+
+// Hits returns the number of cache lookups served from memory.
+func (c *PatternCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of cache lookups that had to construct.
+func (c *PatternCache) Misses() int64 { return c.misses.Load() }

@@ -1,6 +1,9 @@
 package tile
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool recycles tile buffers keyed by shape, so steady-state communication
 // (one clone per published tile version) stops allocating once the working
@@ -9,7 +12,9 @@ import "sync"
 //
 // A Pool must not be copied after first use. The zero value is ready to use.
 type Pool struct {
-	m sync.Map // shape key -> *sync.Pool of *Tile
+	m    sync.Map // shape key -> *sync.Pool of *Tile
+	gets atomic.Int64
+	puts atomic.Int64
 }
 
 func poolKey(rows, cols int) uint64 {
@@ -19,6 +24,7 @@ func poolKey(rows, cols int) uint64 {
 // Get returns a rows×cols tile, reusing a released buffer of the same shape
 // when one is available. Contents are unspecified.
 func (p *Pool) Get(rows, cols int) *Tile {
+	p.gets.Add(1)
 	if e, ok := p.m.Load(poolKey(rows, cols)); ok {
 		if t, ok := e.(*sync.Pool).Get().(*Tile); ok && t != nil {
 			return t
@@ -32,6 +38,7 @@ func (p *Pool) Put(t *Tile) {
 	if t == nil {
 		return
 	}
+	p.puts.Add(1)
 	e, _ := p.m.LoadOrStore(poolKey(t.Rows, t.Cols), &sync.Pool{})
 	e.(*sync.Pool).Put(t)
 }
@@ -41,4 +48,16 @@ func (p *Pool) Clone(src *Tile) *Tile {
 	t := p.Get(src.Rows, src.Cols)
 	copy(t.Data, src.Data)
 	return t
+}
+
+// Outstanding returns the number of tiles drawn from the pool and not yet
+// returned (Gets minus Puts). Every borrower of a pooled buffer eventually
+// puts it back — kernels within one call, message clones when the last
+// recipient releases them — so a run that finished cleanly (or was cancelled
+// and drained) leaves the pool balanced at zero. A persistently positive
+// value is a leak: a payload share somebody forgot to Release. Momentarily
+// negative values cannot occur (Put without Get hands the pool a foreign
+// tile, which callers never do).
+func (p *Pool) Outstanding() int64 {
+	return p.gets.Load() - p.puts.Load()
 }
